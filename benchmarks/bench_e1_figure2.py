@@ -1,0 +1,37 @@
+"""E1 — paper Figure 2: normalized throughput of YCSB workloads A/B/C
+across the five strict quorum configurations (N=5).
+
+Paper setup: one proxy, 10 closed-loop clients, replication degree 5.
+Expected shape: the read-dominated Workload B peaks at a small read
+quorum (large W), the write-heavy Workload C at W=1, and the mixed
+Workload A away from the large-W extreme.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig
+from repro.harness.figures import figure2
+
+
+def run_figure2():
+    return figure2(
+        cluster_config=ClusterConfig(num_proxies=1, clients_per_proxy=10),
+        object_size=64 * 1024,
+        num_objects=128,
+        duration=8.0,
+        warmup=2.0,
+    )
+
+
+def test_e1_figure2(benchmark, save_result):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    save_result("e1_figure2", result.render())
+    best = result.best_write_quorums()
+    assert best["ycsb-b"] >= 4, "read-mostly workload must favour large W"
+    assert best["ycsb-c-paper"] == 1, "write-heavy workload must favour W=1"
+    assert best["ycsb-a"] <= 3, "mixed workload must not sit at the W=5 extreme"
+    for name, sweep in result.sweeps.items():
+        benchmark.extra_info[f"best_w[{name}]"] = sweep.best_write_quorum
+        benchmark.extra_info[f"impact[{name}]"] = round(
+            sweep.tuning_impact, 2
+        )

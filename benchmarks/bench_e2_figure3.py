@@ -1,0 +1,36 @@
+"""E2 — paper Figure 3: optimal write-quorum size vs write percentage
+over the ~170-workload sweep.
+
+The paper's point is negative: there is no clean linear dependency
+between write percentage and the optimal W (object size matters too),
+which motivates the decision-tree oracle.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import figure3
+
+
+def run_figure3():
+    return figure3(clients=10)
+
+
+def test_e2_figure3(benchmark, save_result):
+    result = benchmark(run_figure3)
+    save_result("e2_figure3", result.render(sample=24))
+    assert len(result.points) >= 160  # "approx. 170 workloads"
+    # Monotone trend exists (write-heavier -> smaller W)...
+    assert result.pearson_r < -0.5
+    # ...but a linear rule misclassifies a large share of workloads.
+    assert result.linear_misclassification > 0.15
+    # And the same write percentage maps to different optima depending
+    # on object size somewhere in the interior of the sweep.
+    spread = max(
+        len(result.distinct_optima_at(pct))
+        for pct in {p for p, _s, _w in result.points}
+    )
+    assert spread >= 2
+    benchmark.extra_info["pearson_r"] = round(result.pearson_r, 3)
+    benchmark.extra_info["linear_misclassification"] = round(
+        result.linear_misclassification, 3
+    )

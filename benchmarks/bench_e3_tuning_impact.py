@@ -1,0 +1,25 @@
+"""E3 — Section 1 claim: "the correct tuning of the quorum size can
+impact performance by up to 5x".
+
+Computes the best/worst throughput ratio for every workload of the
+sweep and reports the distribution.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import tuning_impact
+
+
+def run_tuning_impact():
+    return tuning_impact(clients=10)
+
+
+def test_e3_tuning_impact(benchmark, save_result):
+    result = benchmark(run_tuning_impact)
+    save_result("e3_tuning_impact", result.render())
+    # "up to 5x": the maximum impact lands in the 4-6x band.
+    assert 3.5 <= result.max_impact <= 7.0
+    # Tuning matters broadly, not only at one corner point.
+    assert result.fraction_above(2.0) > 0.3
+    benchmark.extra_info["max_impact"] = round(result.max_impact, 2)
+    benchmark.extra_info["median_impact"] = round(result.median_impact, 2)

@@ -1,0 +1,34 @@
+"""E4 / ablation A1 — Oracle prediction quality.
+
+10-fold cross-validation of the C4.5-style tree (and the boosted
+C5.0-style ensemble) against the baselines the paper's Figure 3
+implicitly rules out: a linear fit, the majority class, and a static
+hand-picked configuration.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import oracle_accuracy
+
+
+def run_oracle_accuracy():
+    return oracle_accuracy(folds=10, include_boosted=True)
+
+
+def test_e4_oracle_accuracy(benchmark, save_result):
+    result = benchmark(run_oracle_accuracy)
+    save_result("e4_oracle_accuracy", result.render())
+    tree = result.report_for("decision tree (C4.5)")
+    linear = result.report_for("linear fit")
+    majority = result.report_for("majority class")
+    assert tree.accuracy > 0.85
+    assert tree.accuracy > linear.accuracy + 0.1
+    assert tree.accuracy > majority.accuracy + 0.2
+    # Paper headline: predicted configs achieve throughput "only slightly
+    # lower" than optimal.
+    assert tree.mean_normalized_throughput > 0.97
+    benchmark.extra_info["tree_accuracy"] = round(tree.accuracy, 3)
+    benchmark.extra_info["tree_norm_throughput"] = round(
+        tree.mean_normalized_throughput, 3
+    )
+    benchmark.extra_info["linear_accuracy"] = round(linear.accuracy, 3)

@@ -1,0 +1,76 @@
+"""E5 — Q-OPT end-to-end vs every static configuration.
+
+For each workload, the harness measures all five static configurations
+on the simulator and then runs the full Q-OPT stack (starting from the
+default R=3/W=3) long enough for the control loop to converge.  The
+paper's claim: Q-OPT "achieves a throughput that is only slightly lower
+than when using the optimal configuration".
+"""
+
+from __future__ import annotations
+
+from repro.common.config import AutonomicConfig, ClusterConfig
+from repro.harness.runtime import qopt_vs_static
+from repro.workloads.generator import WorkloadSpec
+
+CLUSTER = ClusterConfig(num_proxies=2, clients_per_proxy=5)
+AM = AutonomicConfig(
+    round_duration=2.0, quarantine=0.5, top_k=8, gamma=2, theta=0.02
+)
+SPECS = [
+    WorkloadSpec(
+        write_ratio=0.05,
+        object_size=64 * 1024,
+        num_objects=64,
+        skew=0.99,
+        name="read-heavy-5w",
+    ),
+    WorkloadSpec(
+        write_ratio=0.50,
+        object_size=64 * 1024,
+        num_objects=64,
+        skew=0.99,
+        name="mixed-50w",
+    ),
+    WorkloadSpec(
+        write_ratio=0.95,
+        object_size=64 * 1024,
+        num_objects=64,
+        skew=0.99,
+        name="write-heavy-95w",
+    ),
+    WorkloadSpec(
+        write_ratio=0.95,
+        object_size=4 * 1024,
+        num_objects=64,
+        skew=0.99,
+        name="write-heavy-small-objects",
+    ),
+]
+
+
+def run_qopt_vs_static():
+    return qopt_vs_static(
+        specs=SPECS,
+        cluster_config=CLUSTER,
+        autonomic_config=AM,
+        static_duration=8.0,
+        static_warmup=2.0,
+        qopt_duration=26.0,
+        measure_window=6.0,
+    )
+
+
+def test_e5_qopt_vs_static(benchmark, save_result):
+    result = benchmark.pedantic(run_qopt_vs_static, rounds=1, iterations=1)
+    save_result("e5_qopt_vs_static", result.render())
+    assert result.mean_normalized > 0.85
+    assert result.worst_normalized > 0.7
+    for row in result.rows:
+        assert row.normalized_vs_worst > 1.0
+    benchmark.extra_info["mean_qopt_over_optimal"] = round(
+        result.mean_normalized, 3
+    )
+    benchmark.extra_info["worst_qopt_over_optimal"] = round(
+        result.worst_normalized, 3
+    )

@@ -1,0 +1,50 @@
+"""E6 / ablation A3 — throughput penalty of a reconfiguration.
+
+The paper claims "negligible throughput penalties during
+reconfigurations in most of the scenarios".  The harness measures the
+throughput timeline around a global quorum change for both Q-OPT's
+non-blocking two-phase protocol and the stop-the-world baseline.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig
+from repro.harness.runtime import reconfiguration_overhead
+
+CLUSTER = ClusterConfig(num_proxies=2, clients_per_proxy=5)
+
+
+def run_reconfig_overhead():
+    return reconfiguration_overhead(
+        cluster_config=CLUSTER,
+        from_write=3,
+        to_write=2,
+        reconfigure_at=6.0,
+        duration=12.0,
+        warmup=2.0,
+        bin_width=0.25,
+        settle=2.0,
+    )
+
+
+def test_e6_reconfig_overhead(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_reconfig_overhead, rounds=1, iterations=1
+    )
+    save_result("e6_reconfig_overhead", result.render())
+    # Negligible dip for the non-blocking protocol...
+    assert result.nonblocking.relative_dip < 0.15
+    # ...clearly worse for the blocking baseline.
+    assert result.blocking.relative_dip > 2 * result.nonblocking.relative_dip
+    assert result.blocking_pause_time > 0.02
+    # Steady state recovers in both cases.
+    assert result.nonblocking.after > 0.85 * result.nonblocking.before
+    benchmark.extra_info["nonblocking_dip"] = round(
+        result.nonblocking.relative_dip, 3
+    )
+    benchmark.extra_info["blocking_dip"] = round(
+        result.blocking.relative_dip, 3
+    )
+    benchmark.extra_info["blocking_pause_ms"] = round(
+        result.blocking_pause_time * 1000, 1
+    )

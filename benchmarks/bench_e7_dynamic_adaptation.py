@@ -1,0 +1,53 @@
+"""E7 — adaptation to a workload switch (the Dropbox commute pattern).
+
+A tenant switches from a read-intensive office profile (5% writes) to a
+write-intensive home profile (95% writes).  Q-OPT must detect the shift
+and re-tune; a static deployment stays on the now-wrong configuration.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import AutonomicConfig, ClusterConfig
+from repro.harness.runtime import dynamic_adaptation
+from repro.harness.tables import render_series
+
+CLUSTER = ClusterConfig(num_proxies=2, clients_per_proxy=5)
+AM = AutonomicConfig(
+    round_duration=2.0, quarantine=0.5, top_k=8, gamma=2, theta=0.02
+)
+
+
+def run_dynamic_adaptation():
+    return dynamic_adaptation(
+        cluster_config=CLUSTER,
+        autonomic_config=AM,
+        office_write_ratio=0.05,
+        home_write_ratio=0.95,
+        switch_time=20.0,
+        duration=44.0,
+        bin_width=1.0,
+    )
+
+
+def test_e7_dynamic_adaptation(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_dynamic_adaptation, rounds=1, iterations=1
+    )
+    series = render_series(
+        "t (s)",
+        "q-opt ops/s",
+        [(p.midpoint, p.throughput) for p in result.timeline_qopt.points],
+        title="E7 timeline (switch at t=20s)",
+        precision=0,
+    )
+    save_result("e7_dynamic_adaptation", result.render() + "\n\n" + series)
+    assert result.reconfigurations >= 1
+    assert result.improvement_over_static > 1.1
+    assert result.adaptation_time is not None
+    assert result.adaptation_time < 20.0
+    benchmark.extra_info["improvement_over_static"] = round(
+        result.improvement_over_static, 2
+    )
+    benchmark.extra_info["adaptation_time_s"] = round(
+        result.adaptation_time, 1
+    )

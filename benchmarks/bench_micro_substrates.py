@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the computational substrates.
+
+These are conventional pytest-benchmark measurements (multiple rounds,
+statistics) of the hot paths everything else is built on: the simulation
+kernel's event loop, the Space-Saving sketch, the decision tree, and the
+MVA solver.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.common.config import ClusterConfig
+from repro.common.types import QuorumConfig
+from repro.oracle.dataset import generate_training_set
+from repro.oracle.decision_tree import DecisionTreeClassifier
+from repro.sim.kernel import Simulator
+from repro.topk.space_saving import SpaceSaving
+
+
+def test_kernel_event_rate(benchmark):
+    """Schedule-and-run throughput of the event loop."""
+
+    def run_events():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for index in range(10_000):
+            sim.schedule(index * 1e-6, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_kernel_process_switching(benchmark):
+    """Spawn/sleep/resume cost of coroutine processes."""
+
+    def run_processes():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(100):
+                yield sim.sleep(0.001)
+
+        for _ in range(50):
+            sim.spawn(worker())
+        sim.run()
+        return sim.now
+
+    benchmark(run_processes)
+
+
+def test_space_saving_update_rate(benchmark):
+    rng = random.Random(0)
+    stream = [f"obj-{min(int(rng.paretovariate(1.2)), 500)}" for _ in range(50_000)]
+
+    def run_updates():
+        sketch = SpaceSaving(capacity=256)
+        for item in stream:
+            sketch.update(item)
+        return sketch.tracked_count
+
+    tracked = benchmark(run_updates)
+    assert tracked <= 256
+
+
+def test_decision_tree_training(benchmark):
+    dataset = generate_training_set()
+    X, y = dataset.features, dataset.labels
+
+    def train():
+        return DecisionTreeClassifier().fit(X, y)
+
+    tree = benchmark(train)
+    assert tree.fitted
+
+
+def test_decision_tree_prediction(benchmark):
+    dataset = generate_training_set()
+    tree = DecisionTreeClassifier().fit(dataset.features, dataset.labels)
+    rows = dataset.features
+
+    def predict_all():
+        return tree.predict(rows)
+
+    predictions = benchmark(predict_all)
+    assert len(predictions) == len(rows)
+
+
+def test_mva_solve(benchmark):
+    model = MvaThroughputModel(ClusterConfig())
+    point = WorkloadPoint(write_ratio=0.5, object_size=64 * 1024)
+
+    def solve():
+        return model.throughput(point, QuorumConfig(3, 3), clients=50)
+
+    throughput = benchmark(solve)
+    assert throughput > 0
+
+
+def test_mva_full_sweep(benchmark):
+    """One Figure 3 labelling pass: 168 workloads x 5 configurations."""
+    model = MvaThroughputModel(ClusterConfig())
+
+    def sweep():
+        return generate_training_set(model=model)
+
+    dataset = benchmark(sweep)
+    assert len(dataset) >= 160

@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*`` module regenerates one paper table/figure (see
+DESIGN.md's experiment index).  Rendered results are printed and also
+written to ``benchmarks/results/<name>.txt`` so a benchmark run leaves a
+reviewable record regardless of output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

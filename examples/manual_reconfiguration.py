@@ -1,0 +1,96 @@
+"""Protocol deep-dive: drive the Reconfiguration Manager by hand.
+
+Shows the machinery of Section 5 directly, without the Autonomic
+Manager: a failure-free two-phase reconfiguration, a reconfiguration
+with a crashed proxy (epoch change fences the old configuration), and a
+falsely suspected slow proxy catching up through storage NACKs — all
+while clients keep reading and writing.
+
+Run with::
+
+    python examples/manual_reconfiguration.py
+"""
+
+from repro import (
+    ClusterConfig,
+    QuorumConfig,
+    SwiftCluster,
+    attach_reconfiguration_manager,
+    ycsb,
+)
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def state(cluster: SwiftCluster, rm) -> None:
+    live = [proxy for proxy in cluster.proxies if proxy.alive]
+    print(f"  rm: cfg_no={rm.cfg_no} epoch={rm.epoch_no} "
+          f"epoch_changes={rm.epoch_changes}")
+    for proxy in live:
+        print(f"  {proxy.node_id}: epoch={proxy.epoch_no} "
+              f"cfg={proxy.cfg_no} plan={proxy.active_plan().default} "
+              f"transition={proxy.in_transition}")
+    print(f"  storage epochs: "
+          f"{sorted({node.epoch_no for node in cluster.storage_nodes})}")
+    print(f"  throughput (last 2s): "
+          f"{cluster.log.throughput(cluster.sim.now - 2, cluster.sim.now):.0f}"
+          " ops/s")
+
+
+def main() -> None:
+    config = ClusterConfig(
+        num_storage_nodes=10,
+        num_proxies=3,
+        clients_per_proxy=4,
+        initial_quorum=QuorumConfig(read=3, write=3),
+    )
+    cluster = SwiftCluster(config, seed=9)
+    rm = attach_reconfiguration_manager(cluster)
+    cluster.add_clients(
+        ycsb.build(ycsb.workload_a(object_size=16 * 1024, num_objects=64),
+                   seed=2)
+    )
+    cluster.run(3.0)
+
+    banner("failure-free two-phase reconfiguration (R=3,W=3 -> R=1,W=5)")
+    process = rm.change_global(QuorumConfig(read=1, write=5))
+    cluster.run(2.0)
+    print(f"  completed: {process.result.done} (no epoch change needed)")
+    state(cluster, rm)
+
+    banner("crash a proxy, then reconfigure (epoch change fences it)")
+    cluster.crash_proxy(2)
+    process = rm.change_global(QuorumConfig(read=3, write=3))
+    cluster.run(4.0)
+    print(f"  completed: {process.result.done}")
+    state(cluster, rm)
+
+    banner("false suspicion of a slow proxy (indulgence: NACK catch-up)")
+    slow = cluster.proxies[0].node_id
+    cluster.network.set_delay_factor(rm.node_id, slow, 5000.0)
+    cluster.detector.falsely_suspect(
+        slow, start=cluster.sim.now, end=cluster.sim.now + 3.0
+    )
+    process = rm.change_global(QuorumConfig(read=5, write=1))
+    cluster.run(6.0)
+    print(f"  completed: {process.result.done}")
+    nacks = sum(node.nacks_sent for node in cluster.storage_nodes)
+    retries = sum(proxy.operation_retries for proxy in cluster.proxies
+                  if proxy.alive)
+    print(f"  NACKs sent by storage: {nacks}; operations re-executed: "
+          f"{retries}")
+    state(cluster, rm)
+
+    banner("summary")
+    print(f"  total operations served: {cluster.log.total_operations}")
+    print(f"  reconfigurations: {rm.reconfigurations_completed}, "
+          f"epoch changes: {rm.epoch_changes}")
+    print("  safety held throughout: every read quorum intersected the "
+          "write quorum of the last completed write (see tests/ for the "
+          "mechanised check).")
+
+
+if __name__ == "__main__":
+    main()

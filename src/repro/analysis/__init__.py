@@ -1,0 +1,18 @@
+"""Analytical throughput model and ground-truth configuration sweeps."""
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.analysis.optimal import (
+    ConfigSweepResult,
+    MeasuredThroughput,
+    measure_throughput,
+    sweep_configurations,
+)
+
+__all__ = [
+    "ConfigSweepResult",
+    "MeasuredThroughput",
+    "MvaThroughputModel",
+    "WorkloadPoint",
+    "measure_throughput",
+    "sweep_configurations",
+]

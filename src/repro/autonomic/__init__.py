@@ -1,0 +1,19 @@
+"""The Autonomic Manager (Section 4) and Q-OPT system assembly."""
+
+from repro.autonomic.manager import AutonomicManager, merge_round_stats
+from repro.autonomic.policy import (
+    EwmaPredictor,
+    MedianFilter,
+    PageHinkleyDetector,
+)
+from repro.autonomic.qopt import QOptSystem, attach_qopt
+
+__all__ = [
+    "AutonomicManager",
+    "EwmaPredictor",
+    "MedianFilter",
+    "PageHinkleyDetector",
+    "QOptSystem",
+    "attach_qopt",
+    "merge_round_stats",
+]

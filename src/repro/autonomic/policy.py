@@ -1,0 +1,156 @@
+"""Control-loop robustness utilities (Section 4's closing remarks).
+
+The paper's prototype uses a simple moving average plus a fixed
+quarantine, and notes that "the system may be made more robust by
+introducing techniques to filter out outliers [20], detect statistically
+relevant shifts of system's metrics [32], or predict future workload
+trends [22]".  This module implements one representative of each
+family so the Autonomic Manager (and downstream users) can opt in:
+
+* :class:`MedianFilter` — sliding-window median, robust to KPI spikes;
+* :class:`PageHinkleyDetector` — classic sequential change-point test
+  for statistically relevant shifts of a monitored metric;
+* :class:`EwmaPredictor` — exponentially weighted moving average with a
+  trend term (Holt's linear smoothing), predicting the metric one step
+  ahead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+
+class MedianFilter:
+    """Sliding-window median filter for noisy KPI samples."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self._window = window
+        self._values: deque[float] = deque(maxlen=window)
+
+    def update(self, value: float) -> float:
+        """Add a sample and return the current filtered value."""
+        self._values.append(value)
+        ordered = sorted(self._values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    @property
+    def value(self) -> float:
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+@dataclass
+class _PHSide:
+    cumulative: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+
+
+class PageHinkleyDetector:
+    """Page-Hinkley sequential test for mean shifts.
+
+    Detects both upward and downward shifts of the monitored metric's
+    mean that exceed ``delta`` (the magnitude treated as noise) by an
+    accumulated evidence of at least ``threshold``.  Reset after each
+    detection to watch for the next shift.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.5) -> None:
+        if delta < 0:
+            raise ConfigurationError("delta must be >= 0")
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be > 0")
+        self.delta = delta
+        self.threshold = threshold
+        self._count = 0
+        self._mean = 0.0
+        self._state = _PHSide()
+        #: Total shifts detected so far.
+        self.detections = 0
+
+    def update(self, value: float) -> bool:
+        """Add a sample; return True when a shift is detected."""
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        deviation = value - self._mean
+        self._state.cumulative += deviation
+        # Track both directions: a rise is evidenced by cum - min, a drop
+        # by max - cum.
+        self._state.minimum = min(
+            self._state.minimum, self._state.cumulative - self.delta
+        )
+        self._state.maximum = max(
+            self._state.maximum, self._state.cumulative + self.delta
+        )
+        rise = self._state.cumulative - self._state.minimum
+        drop = self._state.maximum - self._state.cumulative
+        if max(rise, drop) > self.threshold:
+            self.detections += 1
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget history; start watching for the next shift."""
+        self._count = 0
+        self._mean = 0.0
+        self._state = _PHSide()
+
+
+class EwmaPredictor:
+    """Holt's linear exponential smoothing: level + trend.
+
+    ``predict()`` extrapolates the metric one observation ahead, which a
+    proactive tuner can feed to the Oracle instead of the last raw
+    sample.
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if not 0 <= beta <= 1:
+            raise ConfigurationError("beta must be in [0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self._level: Optional[float] = None
+        self._trend = 0.0
+
+    def update(self, value: float) -> None:
+        if self._level is None:
+            self._level = value
+            self._trend = 0.0
+            return
+        previous_level = self._level
+        self._level = self.alpha * value + (1 - self.alpha) * (
+            self._level + self._trend
+        )
+        self._trend = self.beta * (self._level - previous_level) + (
+            1 - self.beta
+        ) * self._trend
+
+    def predict(self, steps: int = 1) -> float:
+        """Forecast ``steps`` observations ahead (0 = current level)."""
+        if self._level is None:
+            return 0.0
+        return self._level + steps * self._trend
+
+    @property
+    def primed(self) -> bool:
+        return self._level is not None

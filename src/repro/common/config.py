@@ -1,0 +1,256 @@
+"""Configuration dataclasses for the simulated test-bed.
+
+Default values mirror the experimental platform of Section 2.2 of the
+paper: 10 storage nodes, 5 proxies, 5 client groups of 10 closed-loop
+threads, replication degree 5, a Gigabit LAN, and storage nodes whose
+writes are disk-bound while reads are mostly served from cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency/bandwidth model of the cluster interconnect.
+
+    Every node sits behind one full-duplex link of ``bandwidth``
+    bytes/second: all bytes leaving a node serialize through its egress,
+    all bytes arriving serialize through its ingress.  This is the
+    dominant effect behind Figure 2 — a proxy relays the full object
+    payload to/from each contacted replica, so the per-operation load on
+    its Gigabit NIC is proportional to the quorum size.  On top of the
+    transmission times, each hop pays ``base_latency`` propagation plus a
+    small uniform jitter; channels stay FIFO per (sender, receiver).
+    """
+
+    #: One-way propagation + switching delay, seconds (Gigabit LAN scale).
+    base_latency: float = 0.0002
+    #: Per-node link bandwidth in bytes/second (1 Gbit/s ~ 125 MB/s).
+    bandwidth: float = 125e6
+    #: Uniform jitter added to each delivery, as a fraction of base latency.
+    jitter_fraction: float = 0.25
+
+    def validate(self) -> "NetworkConfig":
+        if self.base_latency < 0:
+            raise ConfigurationError("base_latency must be >= 0")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be > 0")
+        if self.jitter_fraction < 0:
+            raise ConfigurationError("jitter_fraction must be >= 0")
+        return self
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Service-time model of one storage node.
+
+    Reads are served from the page cache most of the time; writes must
+    reach disk (Swift fsyncs objects), which is why the paper observes that
+    "read operations are faster than write operations" and why balanced
+    workloads favour slightly smaller read quorums.
+    """
+
+    #: Fixed CPU + cache-hit cost of serving a read, seconds.
+    read_service_time: float = 0.0015
+    #: Fixed cost of a write (request parsing + fsync latency), seconds.
+    write_service_time: float = 0.0040
+    #: Cache throughput for reads, bytes/second.
+    read_bandwidth: float = 400e6
+    #: Sustained disk write throughput, bytes/second (15K RPM SATA scale).
+    write_bandwidth: float = 80e6
+    #: Probability a read misses the cache and pays the disk penalty.
+    read_miss_ratio: float = 0.20
+    #: Extra latency of a cache-missing read, seconds (disk seek).
+    read_miss_penalty: float = 0.0060
+    #: Number of requests a storage node serves concurrently (disk queue
+    #: depth / worker threads).  Requests beyond this queue FIFO.
+    concurrency: int = 4
+    #: Period of the background object replicator (Swift's anti-entropy
+    #: daemon), seconds.  Each cycle pushes locally updated objects to the
+    #: peer replicas that may have missed the foreground write quorum.
+    #: 0 disables background replication.
+    replication_interval: float = 1.0
+
+    def validate(self) -> "StorageConfig":
+        if self.replication_interval < 0:
+            raise ConfigurationError("replication_interval must be >= 0")
+        if min(self.read_service_time, self.write_service_time) < 0:
+            raise ConfigurationError("service times must be >= 0")
+        if min(self.read_bandwidth, self.write_bandwidth) <= 0:
+            raise ConfigurationError("bandwidths must be > 0")
+        if not 0 <= self.read_miss_ratio <= 1:
+            raise ConfigurationError("read_miss_ratio must be in [0, 1]")
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        return self
+
+    def mean_read_time(self, size: int) -> float:
+        """Expected read service time for an object of ``size`` bytes."""
+        return (
+            self.read_service_time
+            + self.read_miss_ratio * self.read_miss_penalty
+            + size / self.read_bandwidth
+        )
+
+    def mean_write_time(self, size: int) -> float:
+        """Expected write service time for an object of ``size`` bytes."""
+        return self.write_service_time + size / self.write_bandwidth
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Per-request CPU cost of a proxy and its fallback behaviour."""
+
+    #: CPU time a proxy spends marshalling one replica request, seconds.
+    per_replica_cpu: float = 0.00008
+    #: Worker threads per proxy process.
+    concurrency: int = 16
+    #: Time a proxy waits for quorum replies before falling back to the
+    #: remaining replicas (Section 2.1 "if ... some replies are missing,
+    #: the request is sent to the remaining replicas"), seconds.
+    fallback_timeout: float = 0.5
+
+    def validate(self) -> "ProxyConfig":
+        if self.per_replica_cpu < 0:
+            raise ConfigurationError("per_replica_cpu must be >= 0")
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        if self.fallback_timeout <= 0:
+            raise ConfigurationError("fallback_timeout must be > 0")
+        return self
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster (Section 2.2 test-bed by default)."""
+
+    num_storage_nodes: int = 10
+    num_proxies: int = 5
+    clients_per_proxy: int = 10
+    replication_degree: int = 5
+    initial_quorum: QuorumConfig = field(
+        default_factory=lambda: QuorumConfig(read=3, write=3)
+    )
+    #: Write-ordering scheme (Section 2.1): "timestamp" uses globally
+    #: synchronized clocks + proxy-id tie-breaks; "vector" uses
+    #: Dynamo-style vector clocks with commutative merges.
+    versioning: str = "timestamp"
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    proxy: ProxyConfig = field(default_factory=ProxyConfig)
+
+    def validate(self) -> "ClusterConfig":
+        if self.num_storage_nodes < 1:
+            raise ConfigurationError("need at least one storage node")
+        if self.num_proxies < 1:
+            raise ConfigurationError("need at least one proxy")
+        if self.clients_per_proxy < 1:
+            raise ConfigurationError("need at least one client per proxy")
+        if self.replication_degree < 1:
+            raise ConfigurationError("replication degree must be >= 1")
+        if self.replication_degree > self.num_storage_nodes:
+            raise ConfigurationError(
+                f"replication degree {self.replication_degree} exceeds "
+                f"storage node count {self.num_storage_nodes}"
+            )
+        self.initial_quorum.validate_strict(self.replication_degree)
+        if self.versioning not in ("timestamp", "vector"):
+            raise ConfigurationError(
+                "versioning must be 'timestamp' or 'vector', got "
+                f"{self.versioning!r}"
+            )
+        self.network.validate()
+        self.storage.validate()
+        self.proxy.validate()
+        return self
+
+    def with_quorum(self, quorum: QuorumConfig) -> "ClusterConfig":
+        """Copy of this config with a different initial quorum."""
+        return replace(self, initial_quorum=quorum)
+
+    @property
+    def total_clients(self) -> int:
+        return self.num_proxies * self.clients_per_proxy
+
+
+@dataclass(frozen=True)
+class AutonomicConfig:
+    """Knobs of the Autonomic Manager control loop (Sections 3-4)."""
+
+    #: Number of hot objects optimized per fine-grain round (top-k size).
+    top_k: int = 8
+    #: Space-Saving summary capacity (counters per proxy).
+    summary_capacity: int = 256
+    #: Length of one monitoring round, simulated seconds.  The paper uses a
+    #: 30 s moving-average window; simulations compress time so the default
+    #: here is shorter but plays the same role.
+    round_duration: float = 30.0
+    #: Rounds to average when deciding whether fine-grain optimization is
+    #: still paying off (the paper's gamma).
+    gamma: int = 2
+    #: Minimum average relative throughput improvement over the last gamma
+    #: rounds required to continue fine-grain optimization (the theta
+    #: threshold of Algorithm 1).
+    theta: float = 0.02
+    #: Quarantine period after each reconfiguration during which no new
+    #: adaptation is evaluated (Section 4).
+    quarantine: float = 5.0
+    #: Lower/upper bounds the user may impose on the write quorum, e.g. for
+    #: fault-tolerance constraints ("each write must contact at least
+    #: k > 1 replicas", Section 3).
+    min_write_quorum: int = 1
+    max_write_quorum: int | None = None
+    #: Maximum number of fine-grain rounds as a safety stop.
+    max_rounds: int = 16
+    #: Ablation hook (A2): when False, skip per-object fine-grain rounds
+    #: entirely and only run the coarse tail optimization.
+    enable_fine_grain: bool = True
+    #: The Key Performance Indicator the loop maximizes (Section 3: "a
+    #: target KPI (like throughput or latency)").  "throughput" maximizes
+    #: completed operations per second; "latency" minimizes the mean
+    #: operation latency.
+    kpi: str = "throughput"
+    #: Sliding-window size of the median filter applied to KPI samples
+    #: before the stop rule (1 = no filtering); see
+    #: :class:`repro.autonomic.policy.MedianFilter`.
+    kpi_filter_window: int = 1
+
+    def validate(self, replication_degree: int) -> "AutonomicConfig":
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        if self.summary_capacity < self.top_k:
+            raise ConfigurationError("summary_capacity must be >= top_k")
+        if self.round_duration <= 0:
+            raise ConfigurationError("round_duration must be > 0")
+        if self.gamma < 1:
+            raise ConfigurationError("gamma must be >= 1")
+        if self.theta < 0:
+            raise ConfigurationError("theta must be >= 0")
+        if self.quarantine < 0:
+            raise ConfigurationError("quarantine must be >= 0")
+        upper = self.max_write_quorum or replication_degree
+        if not 1 <= self.min_write_quorum <= upper <= replication_degree:
+            raise ConfigurationError(
+                "write quorum bounds must satisfy "
+                f"1 <= min ({self.min_write_quorum}) <= max ({upper}) "
+                f"<= N ({replication_degree})"
+            )
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        if self.kpi not in ("throughput", "latency"):
+            raise ConfigurationError(
+                f"kpi must be 'throughput' or 'latency', got {self.kpi!r}"
+            )
+        if self.kpi_filter_window < 1:
+            raise ConfigurationError("kpi_filter_window must be >= 1")
+        return self
+
+    def write_quorum_range(self, replication_degree: int) -> range:
+        """Admissible write-quorum sizes under the user constraints."""
+        upper = self.max_write_quorum or replication_degree
+        return range(self.min_write_quorum, upper + 1)

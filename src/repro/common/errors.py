@@ -1,0 +1,73 @@
+"""Exception hierarchy shared by every Q-OPT subsystem.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised, for example, when a quorum configuration violates the
+    strictness requirement ``R + W > N`` or when a cluster is built with
+    fewer storage nodes than the replication degree.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    This signals a logic error in a protocol implementation: some process
+    is blocked on a future that can never be resolved.
+    """
+
+
+class NodeCrashedError(SimulationError):
+    """An operation was attempted on a node that has crashed."""
+
+
+class ProtocolError(ReproError):
+    """A replication or reconfiguration protocol invariant was violated."""
+
+
+class QuorumUnavailableError(ProtocolError):
+    """Not enough live replicas exist to assemble the requested quorum."""
+
+
+class ReconfigurationInProgressError(ProtocolError):
+    """A new reconfiguration was requested while one is still running.
+
+    The Reconfiguration Manager serializes reconfigurations (Section 5.2 of
+    the paper): a new one may only start after the previous one concluded.
+    """
+
+
+class OracleError(ReproError):
+    """The machine-learning oracle could not produce a prediction."""
+
+
+class NotFittedError(OracleError):
+    """A model was asked to predict before being trained."""
+
+
+class DatasetError(OracleError):
+    """A training dataset is malformed (empty, ragged, or mislabelled)."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (bad parameters, empty results)."""

@@ -1,0 +1,58 @@
+"""Experiment harness: one regenerator per paper table/figure (E1-E8)."""
+
+from repro.harness.figures import (
+    Figure2Result,
+    Figure3Result,
+    OracleAccuracyResult,
+    TuningImpactResult,
+    figure2,
+    figure3,
+    oracle_accuracy,
+    tuning_impact,
+)
+from repro.harness.runtime import (
+    DynamicAdaptationResult,
+    PerObjectResult,
+    QOptVsStaticResult,
+    ReconfigOverheadResult,
+    dynamic_adaptation,
+    per_object_vs_global,
+    qopt_vs_static,
+    reconfiguration_overhead,
+)
+from repro.harness.report import ReproductionReport, build_report, write_report
+from repro.harness.replication import (
+    ReplicatedChoice,
+    ReplicatedScalar,
+    replicate_choice,
+    replicate_scalar,
+)
+from repro.harness.tables import render_series, render_table
+
+__all__ = [
+    "DynamicAdaptationResult",
+    "Figure2Result",
+    "Figure3Result",
+    "OracleAccuracyResult",
+    "PerObjectResult",
+    "QOptVsStaticResult",
+    "ReconfigOverheadResult",
+    "ReplicatedChoice",
+    "ReplicatedScalar",
+    "ReproductionReport",
+    "TuningImpactResult",
+    "dynamic_adaptation",
+    "figure2",
+    "figure3",
+    "oracle_accuracy",
+    "per_object_vs_global",
+    "qopt_vs_static",
+    "reconfiguration_overhead",
+    "render_series",
+    "render_table",
+    "replicate_choice",
+    "replicate_scalar",
+    "build_report",
+    "tuning_impact",
+    "write_report",
+]

@@ -1,0 +1,321 @@
+"""Regenerators for the paper's motivating figures and the Oracle study.
+
+* :func:`figure2` — E1: normalized throughput of Workloads A/B/C across
+  the five strict quorum configurations (paper Figure 2), measured on
+  the discrete-event simulator.
+* :func:`figure3` — E2: optimal write quorum vs. write percentage over
+  the ~170-workload sweep (paper Figure 3), including the linear-fit
+  residual analysis that motivates the decision tree.
+* :func:`tuning_impact` — E3: best/worst throughput ratio per workload
+  (the paper's "up to 5x" claim).
+* :func:`oracle_accuracy` — E4: cross-validated accuracy of the
+  decision-tree Oracle against the linear/majority/static baselines
+  (ablation A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.analysis.optimal import ConfigSweepResult, sweep_configurations
+from repro.common.config import ClusterConfig
+from repro.harness.tables import render_table
+from repro.oracle.baselines import (
+    FixedRuleBaseline,
+    LinearBaseline,
+    MajorityBaseline,
+)
+from repro.oracle.boosting import BoostedTreeClassifier
+from repro.oracle.dataset import TrainingSet, generate_training_set
+from repro.oracle.decision_tree import DecisionTreeClassifier
+from repro.oracle.validation import ValidationReport, compare_models
+from repro.workloads import ycsb
+from repro.workloads.generator import WorkloadSpec, sweep_specs
+
+# ---------------------------------------------------------------------------
+# E1 — Figure 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Normalized throughput per (workload, write-quorum) cell."""
+
+    sweeps: dict[str, ConfigSweepResult]
+
+    def normalized(self) -> dict[str, dict[int, float]]:
+        return {name: sweep.normalized() for name, sweep in self.sweeps.items()}
+
+    def best_write_quorums(self) -> dict[str, int]:
+        return {
+            name: sweep.best_write_quorum
+            for name, sweep in self.sweeps.items()
+        }
+
+    def render(self) -> str:
+        quorums = sorted(next(iter(self.sweeps.values())).throughputs)
+        headers = ["workload"] + [f"R={6 - w},W={w}" for w in quorums] + [
+            "best W"
+        ]
+        rows = []
+        for name, sweep in self.sweeps.items():
+            normalized = sweep.normalized()
+            rows.append(
+                [name]
+                + [f"{normalized[w]:.2f}" for w in quorums]
+                + [sweep.best_write_quorum]
+            )
+        return render_table(
+            headers,
+            rows,
+            title="E1 / Figure 2: normalized throughput per quorum config",
+        )
+
+
+def figure2(
+    cluster_config: Optional[ClusterConfig] = None,
+    object_size: int = 64 * 1024,
+    num_objects: int = 128,
+    duration: float = 8.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> Figure2Result:
+    """Measure Workloads A, B and C across all configurations (DES)."""
+    base = cluster_config or ClusterConfig(
+        num_proxies=1, clients_per_proxy=10
+    )
+    sweeps: dict[str, ConfigSweepResult] = {}
+    for spec in ycsb.figure2_workloads(
+        object_size=object_size, num_objects=num_objects
+    ):
+        sweeps[spec.name] = sweep_configurations(
+            spec,
+            cluster_config=base,
+            duration=duration,
+            warmup=warmup,
+            seed=seed,
+        )
+    return Figure2Result(sweeps=sweeps)
+
+
+# ---------------------------------------------------------------------------
+# E2 — Figure 3
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """The optimal-W scatter and how badly a line fits it."""
+
+    #: (write_percentage, object_size, optimal_write_quorum) triples.
+    points: list[tuple[float, int, int]]
+    #: Pearson correlation between write percentage and optimal W.
+    pearson_r: float
+    #: Coefficient of determination of the best linear fit W ~ write%.
+    linear_r_squared: float
+    #: Fraction of points the (rounded) linear fit misclassifies.
+    linear_misclassification: float
+
+    def distinct_optima_at(self, write_percentage: float) -> set[int]:
+        """Optimal quorums observed at one write percentage (spread =>
+        the same write ratio maps to different optima as size varies)."""
+        return {
+            w for pct, _size, w in self.points if abs(pct - write_percentage) < 1e-9
+        }
+
+    def render(self, sample: int = 20) -> str:
+        step = max(1, len(self.points) // sample)
+        rows = [
+            (f"{pct:.0f}%", size, w)
+            for pct, size, w in self.points[::step]
+        ]
+        table = render_table(
+            ["write %", "object size (B)", "optimal W"],
+            rows,
+            title=(
+                "E2 / Figure 3: optimal write quorum vs write percentage "
+                f"({len(self.points)} workloads; showing every {step}th)"
+            ),
+        )
+        summary = (
+            f"\npearson r(write%, W*) = {self.pearson_r:.3f}; "
+            f"linear fit R^2 = {self.linear_r_squared:.3f}; "
+            f"linear rule misclassifies {self.linear_misclassification * 100:.1f}% "
+            "of workloads -> no clean linear dependency (motivates the tree)"
+        )
+        return table + summary
+
+
+def figure3(
+    cluster_config: Optional[ClusterConfig] = None,
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    clients: Optional[int] = None,
+) -> Figure3Result:
+    """Label the sweep grid with optimal quorums (MVA companion model)."""
+    model = MvaThroughputModel(cluster_config)
+    specs = specs if specs is not None else sweep_specs()
+    points: list[tuple[float, int, int]] = []
+    for spec in specs:
+        best = model.best_write_quorum(
+            WorkloadPoint(
+                write_ratio=spec.write_ratio, object_size=spec.object_size
+            ),
+            clients=clients,
+        )
+        points.append((spec.write_percentage, spec.object_size, best))
+    percentages = np.array([p for p, _s, _w in points])
+    optima = np.array([w for _p, _s, w in points], dtype=np.float64)
+    if len(points) > 1 and percentages.std() > 0 and optima.std() > 0:
+        pearson = float(np.corrcoef(percentages, optima)[0, 1])
+    else:
+        pearson = 0.0
+    design = np.vstack([percentages, np.ones_like(percentages)]).T
+    coef, *_ = np.linalg.lstsq(design, optima, rcond=None)
+    fitted = design @ coef
+    ss_res = float(((optima - fitted) ** 2).sum())
+    ss_tot = float(((optima - optima.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    rounded = np.clip(np.round(fitted), optima.min(), optima.max())
+    misclassified = float((rounded != optima).mean())
+    return Figure3Result(
+        points=points,
+        pearson_r=pearson,
+        linear_r_squared=r_squared,
+        linear_misclassification=misclassified,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 — tuning impact ("up to 5x")
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TuningImpactResult:
+    """Best/worst throughput ratios across the sweep."""
+
+    #: (write_percentage, object_size, impact_ratio) per workload.
+    impacts: list[tuple[float, int, float]]
+
+    @property
+    def max_impact(self) -> float:
+        return max(ratio for _p, _s, ratio in self.impacts)
+
+    @property
+    def median_impact(self) -> float:
+        ordered = sorted(ratio for _p, _s, ratio in self.impacts)
+        return ordered[len(ordered) // 2]
+
+    def fraction_above(self, threshold: float) -> float:
+        above = sum(1 for _p, _s, r in self.impacts if r >= threshold)
+        return above / len(self.impacts)
+
+    def render(self) -> str:
+        rows = [
+            ("max impact (best/worst)", f"{self.max_impact:.2f}x"),
+            ("median impact", f"{self.median_impact:.2f}x"),
+            (">= 2x share", f"{self.fraction_above(2.0) * 100:.0f}%"),
+            (">= 3x share", f"{self.fraction_above(3.0) * 100:.0f}%"),
+            ("workloads", str(len(self.impacts))),
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title="E3: impact of quorum tuning across the sweep "
+            '(paper: "up to 5x")',
+        )
+
+
+def tuning_impact(
+    cluster_config: Optional[ClusterConfig] = None,
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    clients: Optional[int] = None,
+) -> TuningImpactResult:
+    """Best/worst throughput ratio per sweep workload (MVA model)."""
+    model = MvaThroughputModel(cluster_config)
+    specs = specs if specs is not None else sweep_specs()
+    impacts: list[tuple[float, int, float]] = []
+    for spec in specs:
+        sweep = model.config_sweep(
+            WorkloadPoint(
+                write_ratio=spec.write_ratio, object_size=spec.object_size
+            ),
+            clients=clients,
+        )
+        best = max(sweep.values())
+        worst = min(sweep.values())
+        impacts.append(
+            (
+                spec.write_percentage,
+                spec.object_size,
+                best / worst if worst > 0 else float("inf"),
+            )
+        )
+    return TuningImpactResult(impacts=impacts)
+
+
+# ---------------------------------------------------------------------------
+# E4 — Oracle accuracy (ablation A1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleAccuracyResult:
+    """Cross-validation scores for the tree and its baselines."""
+
+    reports: list[ValidationReport]
+    label_distribution: dict[int, int]
+
+    def report_for(self, model_name: str) -> ValidationReport:
+        for report in self.reports:
+            if report.model_name == model_name:
+                return report
+        raise KeyError(model_name)
+
+    def render(self) -> str:
+        rows = [report.row() for report in self.reports]
+        table = render_table(
+            ["model", "accuracy", "within-1", "mean norm. thr", "worst norm. thr"],
+            rows,
+            title="E4: Oracle prediction quality (10-fold CV over the sweep)",
+        )
+        return (
+            table
+            + "\nlabel distribution (optimal W -> #workloads): "
+            + str(self.label_distribution)
+        )
+
+
+def oracle_accuracy(
+    dataset: Optional[TrainingSet] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    folds: int = 10,
+    seed: int = 0,
+    include_boosted: bool = True,
+) -> OracleAccuracyResult:
+    """Score the C4.5 tree, the boosted (C5.0-style) ensemble and the
+    baselines with k-fold cross-validation."""
+    if dataset is None:
+        dataset = generate_training_set(
+            model=MvaThroughputModel(cluster_config)
+        )
+    factories = [("decision tree (C4.5)", lambda: DecisionTreeClassifier())]
+    if include_boosted:
+        factories.append(
+            ("boosted trees (C5.0)", lambda: BoostedTreeClassifier(n_rounds=8))
+        )
+    factories.extend(
+        [
+            ("linear fit", lambda: LinearBaseline()),
+            ("majority class", lambda: MajorityBaseline()),
+            ("static W=3", lambda: FixedRuleBaseline(3)),
+        ]
+    )
+    reports = compare_models(dataset, factories, folds=folds, seed=seed)
+    return OracleAccuracyResult(
+        reports=reports, label_distribution=dataset.label_distribution()
+    )

@@ -1,0 +1,89 @@
+"""Multi-seed replication of experiments.
+
+One simulator run is one sample; conclusions like "W=1 is optimal for
+this workload" should hold across seeds.  These helpers rerun a
+measurement under several seeds and report mean/std (for scalar
+metrics) or the modal answer with its support (for categorical ones,
+e.g. the best write quorum).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.common.errors import ExperimentError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ReplicatedScalar:
+    """Mean/std summary of a scalar metric over several seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self.values) / (
+            len(self.values) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def relative_std(self) -> float:
+        mean = self.mean
+        return self.std / mean if mean else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} +- {self.std:.1f} (n={len(self.values)})"
+
+
+@dataclass(frozen=True)
+class ReplicatedChoice:
+    """Modal categorical answer over several seeds."""
+
+    answers: tuple
+
+    @property
+    def mode(self):
+        counts: dict = {}
+        for answer in self.answers:
+            counts[answer] = counts.get(answer, 0) + 1
+        return max(counts.items(), key=lambda kv: kv[1])[0]
+
+    @property
+    def support(self) -> float:
+        """Fraction of seeds agreeing with the modal answer."""
+        mode = self.mode
+        return sum(1 for a in self.answers if a == mode) / len(self.answers)
+
+    @property
+    def unanimous(self) -> bool:
+        return len(set(self.answers)) == 1
+
+
+def replicate_scalar(
+    measure: Callable[[int], float], seeds: Sequence[int]
+) -> ReplicatedScalar:
+    """Run ``measure(seed)`` for every seed; summarize the results."""
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    return ReplicatedScalar(values=tuple(measure(seed) for seed in seeds))
+
+
+def replicate_choice(
+    choose: Callable[[int], T], seeds: Sequence[int]
+) -> ReplicatedChoice:
+    """Run ``choose(seed)`` for every seed; summarize the answers."""
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    return ReplicatedChoice(answers=tuple(choose(seed) for seed in seeds))

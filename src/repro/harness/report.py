@@ -1,0 +1,116 @@
+"""Aggregate benchmark results into one reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` leaves each experiment's rendered
+table in ``benchmarks/results/``; :func:`build_report` stitches them into
+a single markdown document (the machine-generated companion to the
+hand-written EXPERIMENTS.md) so a reproduction run can be archived or
+diffed in one file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ExperimentError
+
+#: Section order and titles for known experiment ids.
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("e1_figure2", "E1 — Figure 2: throughput per quorum configuration"),
+    ("e2_figure3", "E2 — Figure 3: optimal W vs write percentage"),
+    ("e3_tuning_impact", "E3 — tuning impact (\"up to 5x\")"),
+    ("e4_oracle_accuracy", "E4 — Oracle accuracy (ablation A1)"),
+    ("e5_qopt_vs_static", "E5 — Q-OPT vs static configurations"),
+    ("e6_reconfig_overhead", "E6 — reconfiguration overhead (ablation A3)"),
+    ("e7_dynamic_adaptation", "E7 — adaptation to a workload switch"),
+    ("e8_per_object", "E8 — per-object vs global tuning (ablation A2)"),
+    ("e9_override_retuning", "E9 — override re-tuning (extension)"),
+    ("a4_stop_rule", "A4 — stop-rule sensitivity (ablation)"),
+)
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """The assembled report plus bookkeeping about coverage."""
+
+    text: str
+    present: tuple[str, ...]
+    missing: tuple[str, ...]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def build_report(
+    results_dir: pathlib.Path | str,
+    title: str = "Q-OPT reproduction report",
+) -> ReproductionReport:
+    """Assemble every known result file into one markdown document.
+
+    Unknown extra files in the directory are appended under an
+    "additional results" section rather than dropped.
+    """
+    directory = pathlib.Path(results_dir)
+    if not directory.is_dir():
+        raise ExperimentError(f"no results directory at {directory}")
+    known = {name for name, _title in SECTIONS}
+    present: list[str] = []
+    missing: list[str] = []
+    parts: list[str] = [f"# {title}", ""]
+    for name, section_title in SECTIONS:
+        path = directory / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        present.append(name)
+        parts.append(f"## {section_title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text().rstrip())
+        parts.append("```")
+        parts.append("")
+    extras = sorted(
+        path
+        for path in directory.glob("*.txt")
+        if path.stem not in known
+    )
+    if extras:
+        parts.append("## Additional results")
+        parts.append("")
+        for path in extras:
+            parts.append(f"### {path.stem}")
+            parts.append("")
+            parts.append("```")
+            parts.append(path.read_text().rstrip())
+            parts.append("```")
+            parts.append("")
+    if missing:
+        parts.append(
+            "_Missing experiments (benchmarks not yet run): "
+            + ", ".join(missing)
+            + "_"
+        )
+        parts.append("")
+    return ReproductionReport(
+        text="\n".join(parts),
+        present=tuple(present),
+        missing=tuple(missing),
+    )
+
+
+def write_report(
+    results_dir: pathlib.Path | str,
+    output: Optional[pathlib.Path | str] = None,
+) -> pathlib.Path:
+    """Build the report and write it next to the results."""
+    directory = pathlib.Path(results_dir)
+    report = build_report(directory)
+    path = (
+        pathlib.Path(output)
+        if output is not None
+        else directory / "REPORT.md"
+    )
+    path.write_text(report.text)
+    return path

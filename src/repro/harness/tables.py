@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment regenerator produces its rows through this module so
+that benchmark output, EXPERIMENTS.md and the examples all share one
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ExperimentError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with a header rule, e.g.::
+
+        workload | W=1  | W=2
+        ---------+------+-----
+        ycsb-a   | 1.00 | 0.97
+    """
+    if not headers:
+        raise ExperimentError("table needs at least one column")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        cells.append([str(value) for value in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cells[0][c].ljust(widths[c]) for c in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * widths[c] for c in range(len(headers))))
+    for row_cells in cells[1:]:
+        lines.append(
+            " | ".join(
+                row_cells[c].ljust(widths[c]) for c in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Two-column numeric series (a text stand-in for a line plot)."""
+    rows = [
+        (f"{x:.{precision}f}", f"{y:.{precision}f}") for x, y in points
+    ]
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def format_percent(value: float) -> str:
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,19 @@
+"""Throughput/latency collectors and timeline analysis."""
+
+from repro.metrics.collector import (
+    LatencySummary,
+    MovingAverage,
+    OperationLog,
+    percentile,
+)
+from repro.metrics.timeline import DipStatistics, Timeline, TimelinePoint
+
+__all__ = [
+    "DipStatistics",
+    "LatencySummary",
+    "MovingAverage",
+    "OperationLog",
+    "Timeline",
+    "TimelinePoint",
+    "percentile",
+]

@@ -1,0 +1,113 @@
+"""Binned time-series for throughput timelines.
+
+Experiment E6 (reconfiguration overhead) and E7 (dynamic adaptation) plot
+throughput against time; :class:`Timeline` turns an :class:`OperationLog`
+into evenly-binned series and computes the dip/recovery statistics the
+paper's "negligible throughput penalties" claim is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.metrics.collector import OperationLog
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One bin of a throughput timeline."""
+
+    start: float
+    end: float
+    throughput: float
+
+    @property
+    def midpoint(self) -> float:
+        return (self.start + self.end) / 2
+
+
+class Timeline:
+    """Evenly-binned throughput series over an operation log."""
+
+    def __init__(
+        self, log: OperationLog, start: float, end: float, bin_width: float
+    ) -> None:
+        if end <= start:
+            raise SimulationError("timeline end must be after start")
+        if bin_width <= 0:
+            raise SimulationError("bin width must be positive")
+        self._points: list[TimelinePoint] = []
+        edge = start
+        while edge < end:
+            next_edge = min(edge + bin_width, end)
+            self._points.append(
+                TimelinePoint(
+                    start=edge,
+                    end=next_edge,
+                    throughput=log.throughput(edge, next_edge),
+                )
+            )
+            edge = next_edge
+
+    @property
+    def points(self) -> list[TimelinePoint]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def mean_throughput(self, start: float, end: float) -> float:
+        """Mean of bin throughputs whose midpoint falls in [start, end)."""
+        values = [
+            p.throughput for p in self._points if start <= p.midpoint < end
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def dip_statistics(
+        self, event_time: float, settle: float
+    ) -> "DipStatistics":
+        """Quantify the throughput dip around an event (a reconfiguration).
+
+        Compares the mean throughput before ``event_time`` against the
+        minimum bin inside ``[event_time, event_time + settle)`` and the
+        mean after the settle window.
+        """
+        before = self.mean_throughput(self._points[0].start, event_time)
+        during_bins = [
+            p.throughput
+            for p in self._points
+            if event_time <= p.midpoint < event_time + settle
+        ]
+        during_min = min(during_bins) if during_bins else 0.0
+        after = self.mean_throughput(
+            event_time + settle, self._points[-1].end
+        )
+        return DipStatistics(
+            before=before, during_min=during_min, after=after
+        )
+
+
+@dataclass(frozen=True)
+class DipStatistics:
+    """Before/during/after throughput around a reconfiguration event."""
+
+    before: float
+    during_min: float
+    after: float
+
+    @property
+    def relative_dip(self) -> float:
+        """Worst-case relative throughput loss during the event window."""
+        if self.before <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.during_min / self.before)
+
+    @property
+    def relative_change(self) -> float:
+        """Steady-state throughput change after the event (signed)."""
+        if self.before <= 0:
+            return 0.0
+        return self.after / self.before - 1.0

@@ -1,0 +1,45 @@
+"""The machine-learning Oracle (Section 6): models, data, validation."""
+
+from repro.oracle.baselines import (
+    FixedRuleBaseline,
+    LinearBaseline,
+    MajorityBaseline,
+)
+from repro.oracle.boosting import BoostedTreeClassifier
+from repro.oracle.dataset import (
+    LabeledWorkload,
+    TrainingSet,
+    generate_training_set,
+    label_point,
+)
+from repro.oracle.decision_tree import DecisionTreeClassifier, pessimistic_error
+from repro.oracle.features import FEATURE_NAMES, feature_vector, features_of
+from repro.oracle.service import OracleNode, QuorumOracle
+from repro.oracle.validation import (
+    ValidationReport,
+    compare_models,
+    cross_validate,
+    k_fold_indices,
+)
+
+__all__ = [
+    "BoostedTreeClassifier",
+    "DecisionTreeClassifier",
+    "FEATURE_NAMES",
+    "FixedRuleBaseline",
+    "LabeledWorkload",
+    "LinearBaseline",
+    "MajorityBaseline",
+    "OracleNode",
+    "QuorumOracle",
+    "TrainingSet",
+    "ValidationReport",
+    "compare_models",
+    "cross_validate",
+    "feature_vector",
+    "features_of",
+    "generate_training_set",
+    "k_fold_indices",
+    "label_point",
+    "pessimistic_error",
+]

@@ -1,0 +1,116 @@
+"""Baseline predictors the decision tree is compared against.
+
+Figure 3's argument is that the optimal write quorum has no clean linear
+relationship with the write percentage, which "motivated our choice of
+employing black-box modelling techniques".  The E4/A1 ablation makes
+that argument quantitative by scoring these baselines alongside the
+tree:
+
+* :class:`LinearBaseline` — least-squares fit of W on the feature
+  vector, rounded and clipped (the model Figure 3 rules out);
+* :class:`MajorityBaseline` — always the most common label;
+* :class:`FixedRuleBaseline` — a static hand-picked configuration, e.g.
+  majority quorums (what a non-adaptive deployment would use).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import DatasetError, NotFittedError
+
+
+class LinearBaseline:
+    """Least-squares linear regression of the label, rounded to a class."""
+
+    def __init__(self, min_label: int = 1, max_label: int = 5) -> None:
+        if min_label > max_label:
+            raise DatasetError("min_label must be <= max_label")
+        self.min_label = min_label
+        self.max_label = max_label
+        self._coefficients: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+    ) -> "LinearBaseline":
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if len(X) == 0:
+            raise DatasetError("cannot fit on an empty dataset")
+        if len(X) != len(y):
+            raise DatasetError("features/labels length mismatch")
+        design = np.hstack([X, np.ones((len(X), 1))])
+        self._coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return self
+
+    def predict_one(self, features: Sequence[float]) -> int:
+        if self._coefficients is None:
+            raise NotFittedError("LinearBaseline is not fitted")
+        row = np.append(np.asarray(features, dtype=np.float64), 1.0)
+        raw = float(row @ self._coefficients)
+        return int(np.clip(round(raw), self.min_label, self.max_label))
+
+    def predict(self, features: Sequence[Sequence[float]]) -> list[int]:
+        return [self.predict_one(row) for row in features]
+
+    @property
+    def fitted(self) -> bool:
+        return self._coefficients is not None
+
+
+class MajorityBaseline:
+    """Predicts the most frequent training label, always."""
+
+    def __init__(self) -> None:
+        self._label: Optional[int] = None
+
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+    ) -> "MajorityBaseline":
+        if len(labels) == 0:
+            raise DatasetError("cannot fit on an empty dataset")
+        counts: dict[int, int] = {}
+        for label in labels:
+            counts[label] = counts.get(label, 0) + 1
+        self._label = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        return self
+
+    def predict_one(self, features: Sequence[float]) -> int:
+        if self._label is None:
+            raise NotFittedError("MajorityBaseline is not fitted")
+        return self._label
+
+    def predict(self, features: Sequence[Sequence[float]]) -> list[int]:
+        return [self.predict_one(row) for row in features]
+
+    @property
+    def fitted(self) -> bool:
+        return self._label is not None
+
+
+class FixedRuleBaseline:
+    """A static, workload-oblivious configuration (no fitting needed)."""
+
+    def __init__(self, write_quorum: int = 3) -> None:
+        if write_quorum < 1:
+            raise DatasetError("write_quorum must be >= 1")
+        self._label = write_quorum
+
+    def fit(self, features, labels) -> "FixedRuleBaseline":
+        return self
+
+    def predict_one(self, features: Sequence[float]) -> int:
+        return self._label
+
+    def predict(self, features: Sequence[Sequence[float]]) -> list[int]:
+        return [self._label for _ in features]
+
+    @property
+    def fitted(self) -> bool:
+        return True

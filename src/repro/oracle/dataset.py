@@ -1,0 +1,106 @@
+"""Training-set generation for the Oracle.
+
+The paper trains the predictor on measured (workload -> optimal quorum)
+pairs from ~170 workloads.  Here the ground truth comes from the
+substrate itself: for each workload point the throughput of every strict
+quorum configuration is evaluated (with the fast MVA model by default, or
+with the discrete-event simulator for spot validation), and the argmax W
+becomes the label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.common.errors import DatasetError
+from repro.oracle.features import features_of
+from repro.workloads.generator import WorkloadSpec, sweep_specs
+
+
+@dataclass(frozen=True)
+class LabeledWorkload:
+    """One training example: workload features, per-config throughputs,
+    and the optimal write quorum."""
+
+    point: WorkloadPoint
+    throughputs: dict[int, float]
+    best_write_quorum: int
+
+    @property
+    def features(self) -> list[float]:
+        return features_of(self.point)
+
+    def normalized_throughput(self, write_quorum: int) -> float:
+        """Throughput of a configuration relative to the optimum."""
+        best = self.throughputs[self.best_write_quorum]
+        if best <= 0:
+            return 0.0
+        return self.throughputs[write_quorum] / best
+
+
+class TrainingSet:
+    """An ordered collection of labeled workloads with matrix views."""
+
+    def __init__(self, examples: Sequence[LabeledWorkload]) -> None:
+        if not examples:
+            raise DatasetError("TrainingSet must not be empty")
+        self.examples = list(examples)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    @property
+    def features(self) -> list[list[float]]:
+        return [example.features for example in self.examples]
+
+    @property
+    def labels(self) -> list[int]:
+        return [example.best_write_quorum for example in self.examples]
+
+    def label_distribution(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def subset(self, indices: Iterable[int]) -> "TrainingSet":
+        return TrainingSet([self.examples[i] for i in indices])
+
+
+def label_point(
+    point: WorkloadPoint,
+    model: MvaThroughputModel,
+    clients: Optional[int] = None,
+) -> LabeledWorkload:
+    """Evaluate every configuration for one workload point."""
+    throughputs = model.config_sweep(point, clients=clients)
+    best = max(throughputs, key=lambda w: throughputs[w])
+    return LabeledWorkload(
+        point=point, throughputs=throughputs, best_write_quorum=best
+    )
+
+
+def generate_training_set(
+    specs: Optional[Sequence[WorkloadSpec]] = None,
+    model: Optional[MvaThroughputModel] = None,
+    clients: Optional[int] = None,
+) -> TrainingSet:
+    """Label a workload grid (defaults to the paper's ~170-point sweep)."""
+    model = model or MvaThroughputModel()
+    specs = specs if specs is not None else sweep_specs()
+    examples = [
+        label_point(
+            WorkloadPoint(
+                write_ratio=spec.write_ratio, object_size=spec.object_size
+            ),
+            model,
+            clients=clients,
+        )
+        for spec in specs
+    ]
+    return TrainingSet(examples)

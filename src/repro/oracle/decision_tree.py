@@ -1,0 +1,367 @@
+"""C4.5/C5.0-style decision-tree classifier, from scratch.
+
+The paper's Oracle relies on "state of the art machine learning (ML)
+techniques (a decision-tree classifier based on the C5.0 algorithm)" to
+map workload characteristics to the optimal write-quorum size.  No ML
+library is assumed: this module implements the classic algorithm
+directly —
+
+* binary splits on numeric features, chosen by **gain ratio**
+  (information gain normalized by split information, C4.5's criterion);
+* candidate thresholds at midpoints between consecutive distinct sorted
+  feature values;
+* **pessimistic error pruning** with C4.5's confidence-interval upper
+  bound (default CF = 0.25);
+* optional per-sample weights, which is what lets
+  :mod:`repro.oracle.boosting` implement C5.0's signature AdaBoost-style
+  boosting on top.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import DatasetError, NotFittedError
+
+#: z-value used by C4.5's pessimistic upper bound for CF = 0.25.
+_Z_FOR_CF25 = 0.6744897501960817
+
+
+def pessimistic_error(errors: float, total: float, z: float = _Z_FOR_CF25) -> float:
+    """C4.5's upper confidence bound on the true error rate.
+
+    Given ``errors`` misclassified out of ``total`` samples, returns the
+    upper bound of the binomial confidence interval at the confidence
+    level implied by ``z`` (0.6745 -> CF 0.25), using the standard C4.5
+    normal-approximation formula.
+    """
+    if total <= 0:
+        return 1.0
+    f = errors / total
+    z2 = z * z
+    numerator = (
+        f
+        + z2 / (2 * total)
+        + z * math.sqrt(f / total - f * f / total + z2 / (4 * total * total))
+    )
+    return min(1.0, numerator / (1 + z2 / total))
+
+
+def _entropy(weights_per_class: np.ndarray) -> float:
+    total = weights_per_class.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = weights_per_class[weights_per_class > 0] / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf when ``feature`` is None."""
+
+    prediction: int
+    class_weights: np.ndarray
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+    def node_count(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.node_count() + self.right.node_count()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+class DecisionTreeClassifier:
+    """Gain-ratio decision tree over numeric features."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 1,
+        min_gain: float = 1e-9,
+        prune: bool = True,
+        confidence_z: float = _Z_FOR_CF25,
+    ) -> None:
+        if max_depth < 1:
+            raise DatasetError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise DatasetError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise DatasetError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_gain = min_gain
+        self.prune = prune
+        self.confidence_z = confidence_z
+        self._root: Optional[_Node] = None
+        self._classes: Optional[np.ndarray] = None
+        self._n_features = 0
+
+    # -- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+        sample_weight: Optional[Sequence[float]] = None,
+    ) -> "DecisionTreeClassifier":
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels)
+        if X.ndim != 2:
+            raise DatasetError("features must be a 2-D array-like")
+        if len(X) == 0:
+            raise DatasetError("cannot fit on an empty dataset")
+        if len(X) != len(y):
+            raise DatasetError(
+                f"features ({len(X)}) and labels ({len(y)}) disagree"
+            )
+        if sample_weight is None:
+            w = np.ones(len(X), dtype=np.float64)
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            if len(w) != len(X):
+                raise DatasetError("sample_weight length mismatch")
+            if (w < 0).any():
+                raise DatasetError("sample weights must be >= 0")
+            if w.sum() <= 0:
+                raise DatasetError("sample weights must not all be zero")
+        self._classes, y_encoded = np.unique(y, return_inverse=True)
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y_encoded, w, depth=0)
+        if self.prune:
+            self._prune_node(self._root)
+        return self
+
+    def _class_weights(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        counts = np.zeros(len(self._classes), dtype=np.float64)
+        np.add.at(counts, y, w)
+        return counts
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> _Node:
+        class_weights = self._class_weights(y, w)
+        prediction = int(np.argmax(class_weights))
+        node = _Node(prediction=prediction, class_weights=class_weights)
+        if (
+            depth >= self.max_depth
+            or len(X) < self.min_samples_split
+            or np.count_nonzero(class_weights) <= 1
+        ):
+            return node
+        split = self._best_split(X, y, w)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray
+    ) -> Optional[tuple[int, float]]:
+        """C4.5 split selection.
+
+        Among all candidate binary splits, keep those whose information
+        gain is at least the average gain of all candidates (C4.5's guard
+        against the gain-ratio bias towards extremely unbalanced splits),
+        then pick the one with the highest gain ratio.
+        """
+        parent_entropy = _entropy(self._class_weights(y, w))
+        total_weight = w.sum()
+        n_classes = len(self._classes)
+        # One candidate per feature: the threshold maximizing information
+        # gain (this is how C4.5 handles continuous attributes — the
+        # threshold is chosen by gain; the ratio arbitrates *between*
+        # attributes, which avoids the classic bias towards extremely
+        # unbalanced splits).
+        candidates: list[tuple[float, float, int, float]] = []
+        for feature in range(self._n_features):
+            order = np.argsort(X[:, feature], kind="mergesort")
+            values = X[order, feature]
+            labels = y[order]
+            weights = w[order]
+            distinct = np.nonzero(values[1:] > values[:-1])[0]
+            if len(distinct) == 0:
+                continue
+            # Cumulative class-weight matrix along the sorted axis lets us
+            # evaluate every candidate threshold in O(n * classes).
+            one_hot = np.zeros((len(labels), n_classes), dtype=np.float64)
+            one_hot[np.arange(len(labels)), labels] = weights
+            cumulative = np.cumsum(one_hot, axis=0)
+            totals = cumulative[-1]
+            left = cumulative[distinct]
+            right = totals[np.newaxis, :] - left
+            left_weight = left.sum(axis=1)
+            right_weight = right.sum(axis=1)
+            valid = (
+                (distinct + 1 >= self.min_samples_leaf)
+                & (len(values) - distinct - 1 >= self.min_samples_leaf)
+                & (left_weight > 0)
+                & (right_weight > 0)
+            )
+            if not valid.any():
+                continue
+
+            def entropy_rows(matrix: np.ndarray) -> np.ndarray:
+                sums = matrix.sum(axis=1, keepdims=True)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    p = np.where(sums > 0, matrix / sums, 0.0)
+                    logs = np.where(p > 0, np.log2(p), 0.0)
+                return -(p * logs).sum(axis=1)
+
+            children = (
+                left_weight * entropy_rows(left)
+                + right_weight * entropy_rows(right)
+            ) / total_weight
+            gains = np.where(valid, parent_entropy - children, -np.inf)
+            best_index = int(np.argmax(gains))
+            gain = float(gains[best_index])
+            if gain <= self.min_gain:
+                continue
+            p_left = left_weight[best_index] / total_weight
+            split_info = -(
+                p_left * math.log2(p_left)
+                + (1 - p_left) * math.log2(1 - p_left)
+            )
+            if split_info <= 0:
+                continue
+            cut = distinct[best_index]
+            threshold = float((values[cut] + values[cut + 1]) / 2.0)
+            candidates.append((gain, gain / split_info, feature, threshold))
+        if not candidates:
+            return None
+        # C4.5's guard: only attributes with at least average gain compete
+        # on gain ratio.
+        mean_gain = sum(c[0] for c in candidates) / len(candidates)
+        eligible = [c for c in candidates if c[0] >= mean_gain - 1e-12]
+        _gain, _ratio, feature, threshold = max(
+            eligible, key=lambda c: (c[1], c[0])
+        )
+        return feature, threshold
+
+    # -- pruning (C4.5 pessimistic) -----------------------------------------------
+
+    def _prune_node(self, node: _Node) -> float:
+        """Returns the estimated error count of the (possibly pruned) node."""
+        total = node.class_weights.sum()
+        leaf_errors = total - node.class_weights[node.prediction]
+        leaf_estimate = total * pessimistic_error(
+            leaf_errors, total, self.confidence_z
+        )
+        if node.is_leaf:
+            return leaf_estimate
+        subtree_estimate = self._prune_node(node.left) + self._prune_node(
+            node.right
+        )
+        if leaf_estimate <= subtree_estimate:
+            node.feature = None
+            node.left = None
+            node.right = None
+            return leaf_estimate
+        return subtree_estimate
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict_one(self, features: Sequence[float]) -> int:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        if len(features) != self._n_features:
+            raise DatasetError(
+                f"expected {self._n_features} features, got {len(features)}"
+            )
+        node = self._root
+        while not node.is_leaf:
+            node = (
+                node.left
+                if features[node.feature] <= node.threshold
+                else node.right
+            )
+        return int(self._classes[node.prediction])
+
+    def predict(self, features: Sequence[Sequence[float]]) -> list[int]:
+        return [self.predict_one(row) for row in features]
+
+    def predict_proba_one(self, features: Sequence[float]) -> dict[int, float]:
+        """Class -> weight fraction at the reached leaf."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            node = (
+                node.left
+                if features[node.feature] <= node.threshold
+                else node.right
+            )
+        total = node.class_weights.sum()
+        if total <= 0:
+            return {int(c): 0.0 for c in self._classes}
+        return {
+            int(c): float(node.class_weights[i] / total)
+            for i, c in enumerate(self._classes)
+        }
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def fitted(self) -> bool:
+        return self._root is not None
+
+    @property
+    def classes(self) -> list[int]:
+        if self._classes is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        return [int(c) for c in self._classes]
+
+    def node_count(self) -> int:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        return self._root.node_count()
+
+    def depth(self) -> int:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        return self._root.depth()
+
+    def rules(self, feature_names: Optional[Sequence[str]] = None) -> str:
+        """Human-readable if/else dump of the tree."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        names = feature_names or [
+            f"x{i}" for i in range(self._n_features)
+        ]
+        lines: list[str] = []
+
+        def walk(node: _Node, indent: int) -> None:
+            pad = "  " * indent
+            if node.is_leaf:
+                lines.append(
+                    f"{pad}-> {int(self._classes[node.prediction])}"
+                )
+                return
+            lines.append(f"{pad}if {names[node.feature]} <= {node.threshold:g}:")
+            walk(node.left, indent + 1)
+            lines.append(f"{pad}else:")
+            walk(node.right, indent + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)

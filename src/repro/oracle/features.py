@@ -1,0 +1,37 @@
+"""Feature extraction for the Oracle.
+
+The paper feeds the predictor "a compact set of workload
+characteristics, which can be gathered efficiently via non-intrusive
+monitoring techniques": per object, the write-access ratio and the
+object size (Section 4's ``statsTopK``).  The feature vector is
+deliberately tiny — that is the point of the design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.analysis.mva import WorkloadPoint
+from repro.sds.messages import AggregateStats, ObjectStats
+
+#: Human-readable feature names, aligned with :func:`feature_vector`.
+FEATURE_NAMES: tuple[str, ...] = ("write_ratio", "log2_size")
+
+
+def feature_vector(write_ratio: float, mean_size: float) -> list[float]:
+    """Build the model input for one (possibly aggregated) workload.
+
+    Size enters in log2 so that tree thresholds spread evenly over the
+    orders of magnitude the sweep covers (1 KiB .. 1 MiB).
+    """
+    return [write_ratio, math.log2(max(mean_size, 1.0))]
+
+
+def features_of(
+    stats: Union[ObjectStats, AggregateStats, WorkloadPoint]
+) -> list[float]:
+    """Feature vector from any stats-bearing object."""
+    if isinstance(stats, WorkloadPoint):
+        return feature_vector(stats.write_ratio, stats.object_size)
+    return feature_vector(stats.write_ratio, stats.mean_size)

@@ -1,0 +1,118 @@
+"""Model validation: k-fold cross-validation over the training set.
+
+Besides plain accuracy, the scorer reports two metrics better matched to
+what Q-OPT cares about:
+
+* **within-one accuracy** — predictions off by at most one quorum size
+  (neighbouring configurations usually perform almost identically);
+* **mean normalized throughput** — the throughput the predicted
+  configuration actually achieves, relative to the optimum.  This is the
+  paper's headline metric ("throughput that is only slightly lower than
+  when using the optimal configuration").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.errors import DatasetError
+from repro.oracle.dataset import TrainingSet
+
+#: A model factory: () -> object with fit(X, y) and predict_one(x).
+ModelFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Aggregate scores over all cross-validation folds."""
+
+    model_name: str
+    accuracy: float
+    within_one_accuracy: float
+    mean_normalized_throughput: float
+    worst_normalized_throughput: float
+    folds: int
+
+    def row(self) -> tuple[str, str, str, str, str]:
+        """Formatted cells for the E4 results table."""
+        return (
+            self.model_name,
+            f"{self.accuracy * 100:.1f}%",
+            f"{self.within_one_accuracy * 100:.1f}%",
+            f"{self.mean_normalized_throughput * 100:.1f}%",
+            f"{self.worst_normalized_throughput * 100:.1f}%",
+        )
+
+
+def k_fold_indices(
+    n: int, folds: int, seed: int = 0
+) -> list[tuple[list[int], list[int]]]:
+    """Shuffled (train, test) index pairs for k-fold cross-validation."""
+    if folds < 2:
+        raise DatasetError("need at least 2 folds")
+    if n < folds:
+        raise DatasetError(f"cannot split {n} examples into {folds} folds")
+    indices = list(range(n))
+    random.Random(seed).shuffle(indices)
+    buckets: list[list[int]] = [[] for _ in range(folds)]
+    for position, index in enumerate(indices):
+        buckets[position % folds].append(index)
+    splits = []
+    for fold in range(folds):
+        test = buckets[fold]
+        train = [i for other in range(folds) if other != fold for i in buckets[other]]
+        splits.append((train, test))
+    return splits
+
+
+def cross_validate(
+    dataset: TrainingSet,
+    model_factory: ModelFactory,
+    model_name: str = "model",
+    folds: int = 10,
+    seed: int = 0,
+) -> ValidationReport:
+    """Score a model family with k-fold cross-validation."""
+    correct = 0
+    within_one = 0
+    total = 0
+    normalized: list[float] = []
+    for train_idx, test_idx in k_fold_indices(len(dataset), folds, seed):
+        train = dataset.subset(train_idx)
+        model = model_factory()
+        model.fit(train.features, train.labels)
+        for index in test_idx:
+            example = dataset.examples[index]
+            predicted = model.predict_one(example.features)
+            total += 1
+            if predicted == example.best_write_quorum:
+                correct += 1
+            if abs(predicted - example.best_write_quorum) <= 1:
+                within_one += 1
+            if predicted in example.throughputs:
+                normalized.append(example.normalized_throughput(predicted))
+            else:
+                normalized.append(0.0)
+    return ValidationReport(
+        model_name=model_name,
+        accuracy=correct / total,
+        within_one_accuracy=within_one / total,
+        mean_normalized_throughput=sum(normalized) / len(normalized),
+        worst_normalized_throughput=min(normalized),
+        folds=folds,
+    )
+
+
+def compare_models(
+    dataset: TrainingSet,
+    factories: Sequence[tuple[str, ModelFactory]],
+    folds: int = 10,
+    seed: int = 0,
+) -> list[ValidationReport]:
+    """Cross-validate several model families on the same splits."""
+    return [
+        cross_validate(dataset, factory, model_name=name, folds=folds, seed=seed)
+        for name, factory in factories
+    ]

@@ -1,0 +1,26 @@
+"""Quorum reconfiguration: the non-blocking protocol (Section 5) and the
+stop-the-world baseline used by ablation A3."""
+
+from repro.reconfig.blocking import (
+    BlockingReconfigurationManager,
+    attach_blocking_manager,
+)
+from repro.reconfig.manager import (
+    ReconfigurationManager,
+    attach_reconfiguration_manager,
+)
+from repro.reconfig.replicated import (
+    ReplicatedReconfigurationManager,
+    ReplicatedRMMember,
+    attach_replicated_manager,
+)
+
+__all__ = [
+    "BlockingReconfigurationManager",
+    "ReconfigurationManager",
+    "ReplicatedRMMember",
+    "ReplicatedReconfigurationManager",
+    "attach_blocking_manager",
+    "attach_replicated_manager",
+    "attach_reconfiguration_manager",
+]

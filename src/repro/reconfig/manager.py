@@ -1,0 +1,331 @@
+"""The Reconfiguration Manager: Algorithm 2 of the paper.
+
+The RM changes the quorum plan used by the proxies without ever blocking
+client operations, while preserving **Dynamic Quorum Consistency**: the
+quorum of a read intersects the write quorum of any concurrent write or,
+absent concurrent writes, of the last completed write.
+
+The failure-free path is a two-phase protocol with the proxies:
+
+1. **NEWQ** — every proxy switches to the *transition* plan (pairwise max
+   of old and new quorums, intersecting both) and drains its pending
+   old-quorum operations, then acks.
+2. **CONFIRM** — every proxy installs the new plan and acks.
+
+If any proxy is suspected during either phase, the RM performs an *epoch
+change* on the storage tier: the epoch counter is bumped and broadcast
+(NEWEP); once a large-enough quorum of storage nodes commits to reject
+older epochs, any operation a stale proxy issues is guaranteed to gather
+a NACK and be re-executed with the new plan.  The epoch-change quorum is
+``max(oldR, oldW)`` after phase 1 and ``max(newR, newW)`` after phase 2
+(Section 5.3's correctness argument) — per-object plans use the maxima
+over the whole plan.
+
+The protocol is *indulgent*: false suspicions can only force operation
+re-execution, never a safety violation, and the reconfiguration always
+terminates given the assumed eventually-perfect failure detector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import NodeId, NodeKind, ObjectId, QuorumConfig
+from repro.sds.messages import (
+    AckConfirm,
+    AckNewEpoch,
+    AckNewQuorum,
+    AckRec,
+    CoarseRec,
+    Confirm,
+    FineRec,
+    NewEpoch,
+    NewQuorum,
+)
+from repro.sds.quorum import QuorumPlan
+from repro.sim.failure import FailureDetector
+from repro.sim.kernel import Future, Simulator
+from repro.sim.network import Envelope, Network
+from repro.sim.node import Node
+from repro.sim.primitives import Mutex
+
+#: Size of control-plane messages on the wire, bytes.
+_CONTROL_BYTES = 512
+
+
+class ReconfigurationManager(Node):
+    """Coordinates quorum reconfigurations (Figure 4's "Reconfiguration
+    Manager" box)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        proxies: list[NodeId],
+        storage_nodes: list[NodeId],
+        detector: FailureDetector,
+        initial_plan: QuorumPlan,
+        replication_degree: int,
+        suspect_poll_interval: float = 0.05,
+        node_id: Optional[NodeId] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            network,
+            node_id or NodeId.singleton(NodeKind.RECONFIG_MANAGER),
+        )
+        if not proxies:
+            raise ConfigurationError("RM needs at least one proxy")
+        if not storage_nodes:
+            raise ConfigurationError("RM needs at least one storage node")
+        self._proxies = list(proxies)
+        self._storage_nodes = list(storage_nodes)
+        self._detector = detector
+        self._replication_degree = replication_degree
+        self._poll = suspect_poll_interval
+
+        # Algorithm 2 state.
+        self._epoch_no = 0
+        self._cfg_no = 0
+        self._current_plan = initial_plan.validate_strict(replication_degree)
+        self._mutex = Mutex(sim)
+
+        # Ack collection, keyed by the awaited epoch number.
+        self._newq_acks: set[NodeId] = set()
+        self._confirm_acks: set[NodeId] = set()
+        self._epoch_acks: dict[int, set[NodeId]] = {}
+        self._epoch_waiters: dict[int, tuple[int, Future]] = {}
+
+        # Observability.
+        self.reconfigurations_completed = 0
+        self.epoch_changes = 0
+
+        self.register_handler(AckNewQuorum, self._on_ack_newq)
+        self.register_handler(AckConfirm, self._on_ack_confirm)
+        self.register_handler(AckNewEpoch, self._on_ack_new_epoch)
+        self.register_handler(FineRec, self._on_fine_rec)
+        self.register_handler(CoarseRec, self._on_coarse_rec)
+
+    # -- public views --------------------------------------------------------
+
+    @property
+    def epoch_no(self) -> int:
+        return self._epoch_no
+
+    @property
+    def cfg_no(self) -> int:
+        return self._cfg_no
+
+    @property
+    def current_plan(self) -> QuorumPlan:
+        return self._current_plan
+
+    @property
+    def reconfiguring(self) -> bool:
+        return self._mutex.locked
+
+    # -- public API (the "Manual Reconfiguration" arrow of Figure 4) -----------
+
+    def change_configuration(self, plan: QuorumPlan):
+        """Install a new quorum plan; returns the coordinating process.
+
+        Callers inside the simulation ``yield`` the returned process to
+        wait for completion; test harnesses use
+        ``sim.run_process(rm.change_plan_body(plan))`` instead.
+        """
+        plan.validate_strict(self._replication_degree)
+        return self.spawn(
+            self.change_plan_body(plan),
+            name=f"{self.node_id}.reconfig-{self._cfg_no + 1}",
+        )
+
+    def change_global(self, quorum: QuorumConfig):
+        """Install a uniform plan (the Section 5.2 global protocol)."""
+        return self.change_configuration(QuorumPlan.uniform(quorum))
+
+    def change_overrides(self, overrides: Mapping[ObjectId, QuorumConfig]):
+        """Install per-object overrides on top of the current plan."""
+        updates = dict(overrides)
+        return self.spawn(
+            self._reconfigure(lambda current: current.with_overrides(updates)),
+            name=f"{self.node_id}.reconfig-overrides",
+        )
+
+    def change_default(self, quorum: QuorumConfig):
+        """Change only the tail (default) configuration."""
+        return self.spawn(
+            self._reconfigure(lambda current: current.with_default(quorum)),
+            name=f"{self.node_id}.reconfig-default",
+        )
+
+    # -- Algorithm 2 ------------------------------------------------------------
+
+    def change_plan_body(self, new_plan: QuorumPlan) -> Iterator:
+        """The changeConfiguration procedure (Algorithm 2 lines 5-21)."""
+        result = yield from self._reconfigure(lambda _current: new_plan)
+        return result
+
+    def _reconfigure(self, build_plan) -> Iterator:
+        """Serialized reconfiguration; the new plan is derived from the
+        plan current *at lock-acquisition time* so queued reconfigurations
+        compose instead of clobbering each other."""
+        yield self._mutex.acquire()
+        try:
+            old_plan = self._current_plan
+            new_plan = build_plan(old_plan)
+            new_plan.validate_strict(self._replication_degree)
+            self._cfg_no += 1
+            cfg_no = self._cfg_no
+            # Hook for fault-tolerant subclasses: persist the intent
+            # before any proxy observes the new configuration.
+            self._on_plan_chosen(cfg_no, new_plan)
+
+            # Phase 1: NEWQ -> proxies move to the transition quorum.
+            self._newq_acks = set()
+            self._broadcast_proxies(
+                NewQuorum(epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan)
+            )
+            all_acked = yield from self._await_proxy_acks(self._newq_acks)
+            if not all_acked:
+                # Line 12-14: a proxy is suspected — fence the old epoch.
+                transition = old_plan.transition_with(new_plan)
+                yield from self._epoch_change(
+                    quorum=max(old_plan.max_read, old_plan.max_write),
+                    plan=transition,
+                    cfg_no=cfg_no,
+                )
+
+            # Phase 2: CONFIRM -> proxies install the new quorum.
+            self._confirm_acks = set()
+            self._broadcast_proxies(
+                Confirm(epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan)
+            )
+            all_acked = yield from self._await_proxy_acks(self._confirm_acks)
+            if not all_acked:
+                # Line 18-19: fence again, now with the new quorum sizes.
+                yield from self._epoch_change(
+                    quorum=max(new_plan.max_read, new_plan.max_write),
+                    plan=new_plan,
+                    cfg_no=cfg_no,
+                )
+
+            self._current_plan = new_plan
+            self.reconfigurations_completed += 1
+            self._on_reconfiguration_complete(cfg_no, new_plan)
+            return cfg_no
+        finally:
+            self._mutex.release()
+
+    def _on_plan_chosen(self, cfg_no: int, plan: QuorumPlan) -> None:
+        """Subclass hook: a reconfiguration to ``plan`` is about to start."""
+
+    def _on_reconfiguration_complete(
+        self, cfg_no: int, plan: QuorumPlan
+    ) -> None:
+        """Subclass hook: the reconfiguration concluded successfully."""
+
+    def _await_proxy_acks(self, acks: set[NodeId]) -> Iterator:
+        """Wait until every proxy acked or is suspected.
+
+        Returns True when *all* proxies acked, False when at least one is
+        (possibly falsely) suspected — the caller must then trigger an
+        epoch change.
+        """
+        while True:
+            missing = [
+                proxy for proxy in self._proxies if proxy not in acks
+            ]
+            if not missing:
+                return True
+            if all(self._detector.suspect(proxy) for proxy in missing):
+                return False
+            yield self.sim.sleep(self._poll)
+
+    def _epoch_change(
+        self, quorum: int, plan: QuorumPlan, cfg_no: int
+    ) -> Iterator:
+        """The epochChange procedure (Algorithm 2 lines 22-25)."""
+        self._epoch_no += 1
+        self.epoch_changes += 1
+        epoch_no = self._epoch_no
+        self._epoch_acks[epoch_no] = set()
+        done = self.sim.future(name=f"epoch-{epoch_no}.quorum")
+        self._epoch_waiters[epoch_no] = (quorum, done)
+        for node in self._storage_nodes:
+            self.send(
+                node,
+                NewEpoch(epoch_no=epoch_no, cfg_no=cfg_no, plan=plan),
+                size=_CONTROL_BYTES,
+            )
+        yield done
+        del self._epoch_waiters[epoch_no]
+        del self._epoch_acks[epoch_no]
+
+    # -- ack handlers ---------------------------------------------------------------
+
+    def _on_ack_newq(self, envelope: Envelope) -> None:
+        ack: AckNewQuorum = envelope.payload
+        if ack.epoch_no == self._epoch_no:
+            self._newq_acks.add(ack.proxy)
+
+    def _on_ack_confirm(self, envelope: Envelope) -> None:
+        ack: AckConfirm = envelope.payload
+        if ack.epoch_no == self._epoch_no:
+            self._confirm_acks.add(ack.proxy)
+
+    def _on_ack_new_epoch(self, envelope: Envelope) -> None:
+        ack: AckNewEpoch = envelope.payload
+        acks = self._epoch_acks.get(ack.epoch_no)
+        if acks is None:
+            return
+        acks.add(ack.replica)
+        waiter = self._epoch_waiters.get(ack.epoch_no)
+        if waiter is not None and len(acks) >= waiter[0]:
+            quorum, future = waiter
+            if not future.done:
+                future.resolve(None)
+
+    # -- Autonomic Manager entry points (Algorithm 1 lines 12, 22) --------------------
+
+    def _on_fine_rec(self, envelope: Envelope) -> Iterator:
+        request: FineRec = envelope.payload
+        updates = dict(request.quorums)
+        yield from self._reconfigure(
+            lambda current: current.with_overrides(updates)
+        )
+        self.send(
+            envelope.sender,
+            AckRec(round_no=request.round_no),
+            size=_CONTROL_BYTES,
+        )
+
+    def _on_coarse_rec(self, envelope: Envelope) -> Iterator:
+        request: CoarseRec = envelope.payload
+        yield from self._reconfigure(
+            lambda current: current.with_default(request.quorum)
+        )
+        self.send(envelope.sender, AckRec(round_no=-1), size=_CONTROL_BYTES)
+
+    def _broadcast_proxies(self, payload) -> None:
+        for proxy in self._proxies:
+            self.send(proxy, payload, size=_CONTROL_BYTES)
+
+
+def attach_reconfiguration_manager(
+    cluster, suspect_poll_interval: float = 0.05
+) -> ReconfigurationManager:
+    """Create, register and start an RM for a :class:`SwiftCluster`."""
+    manager = ReconfigurationManager(
+        cluster.sim,
+        cluster.network,
+        proxies=[proxy.node_id for proxy in cluster.proxies],
+        storage_nodes=[node.node_id for node in cluster.storage_nodes],
+        detector=cluster.detector,
+        initial_plan=cluster.initial_plan,
+        replication_degree=cluster.config.replication_degree,
+        suspect_poll_interval=suspect_poll_interval,
+    )
+    manager.start()
+    cluster._nodes_by_id[manager.node_id] = manager
+    return manager

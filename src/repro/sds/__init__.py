@@ -1,0 +1,45 @@
+"""The Swift-like software-defined storage substrate."""
+
+from repro.sds.client import ClientNode, OperationRecord, OperationSource
+from repro.sds.cluster import SwiftCluster, build_cluster
+from repro.sds.consistency import HistoryChecker, Violation
+from repro.sds.messages import AggregateStats, ObjectStats
+from repro.sds.proxy import ProxyNode
+from repro.sds.quorum import (
+    ConfigurationHistory,
+    InstalledConfiguration,
+    QuorumPlan,
+)
+from repro.sds.ring import PlacementRing
+from repro.sds.scripted import ScriptedClient, read_value
+from repro.sds.storage import StorageNode
+from repro.sds.vector_clocks import (
+    TimestampVersioning,
+    VectorStamp,
+    VectorVersioning,
+    make_versioning,
+)
+
+__all__ = [
+    "AggregateStats",
+    "ClientNode",
+    "ConfigurationHistory",
+    "HistoryChecker",
+    "InstalledConfiguration",
+    "ObjectStats",
+    "OperationRecord",
+    "OperationSource",
+    "PlacementRing",
+    "ProxyNode",
+    "QuorumPlan",
+    "ScriptedClient",
+    "StorageNode",
+    "SwiftCluster",
+    "TimestampVersioning",
+    "VectorStamp",
+    "VectorVersioning",
+    "Violation",
+    "build_cluster",
+    "make_versioning",
+    "read_value",
+]

@@ -1,0 +1,190 @@
+"""Closed-loop workload clients.
+
+The paper's load generators are closed: each client thread "injects a new
+operation only after having received a reply for the previously submitted
+operation" with zero think time (Section 2.2).  One :class:`ClientNode`
+models one such thread, statically bound to a proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Protocol
+
+from repro.common.types import NodeId, OpType, VersionStamp, ZERO_STAMP
+from repro.metrics.collector import OperationLog
+from repro.sds.messages import (
+    ClientRead,
+    ClientReadReply,
+    ClientWrite,
+    ClientWriteReply,
+)
+from repro.sim.kernel import Future, Simulator
+from repro.sim.network import Envelope, Network
+from repro.sim.node import Node
+
+#: Wire overhead of a request/reply beyond the object payload, bytes.
+_HEADER_BYTES = 256
+
+
+class OperationSource(Protocol):
+    """What a client needs from a workload: a stream of operations."""
+
+    def next_operation(self, rng: random.Random) -> "OperationSpec":
+        """Produce the next operation to inject."""
+        ...  # pragma: no cover - protocol definition
+
+
+class OperationSpec(Protocol):
+    """Duck type of one generated operation."""
+
+    object_id: str
+    op_type: OpType
+    size: int
+    value: bytes
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """Client-observed history of one operation.
+
+    Consistency checkers consume these records: the invocation/response
+    interval, the value written (writes) or the value and stamp returned
+    (reads).  Values are globally unique per write, so a record history
+    fully determines the register semantics the cluster exhibited.
+    """
+
+    client: NodeId
+    object_id: str
+    op_type: OpType
+    invoked_at: float
+    completed_at: float
+    value: Optional[bytes]
+    stamp: VersionStamp = ZERO_STAMP
+
+
+class ClientNode(Node):
+    """One closed-loop client thread bound to a proxy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: NodeId,
+        proxy_id: NodeId,
+        workload: OperationSource,
+        rng: random.Random,
+        log: OperationLog,
+        think_time: float = 0.0,
+        recorder: Optional[Callable[[OperationRecord], None]] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self._proxy_id = proxy_id
+        self._workload = workload
+        self._rng = rng
+        self._log = log
+        self._think_time = think_time
+        self._recorder = recorder
+        self._request_seq = itertools.count(1)
+        self._pending: dict[int, Future] = {}
+        self._issue_loop_started = False
+        self.operations_issued = 0
+
+        self.register_handler(ClientReadReply, self._on_reply)
+        self.register_handler(ClientWriteReply, self._on_reply)
+
+    @property
+    def proxy_id(self) -> NodeId:
+        return self._proxy_id
+
+    def start(self) -> None:
+        super().start()
+        if not self._issue_loop_started:
+            self._issue_loop_started = True
+            self.spawn(self._issue_loop(), name=f"{self.node_id}.loop")
+
+    def _issue_loop(self) -> Iterator:
+        while self.alive:
+            operation = self._workload.next_operation(self._rng)
+            started_at = self.sim.now
+            if (
+                self._recorder is not None
+                and operation.op_type is OpType.WRITE
+            ):
+                # Record the invocation immediately: a consistency checker
+                # must know about writes that are still in flight when the
+                # simulation ends (their values may be visible to reads).
+                self._recorder(
+                    OperationRecord(
+                        client=self.node_id,
+                        object_id=operation.object_id,
+                        op_type=OpType.WRITE,
+                        invoked_at=started_at,
+                        completed_at=float("inf"),
+                        value=operation.value,
+                    )
+                )
+            reply = yield self._issue(operation)
+            self._log.record(
+                completed_at=self.sim.now,
+                latency=self.sim.now - started_at,
+                op_type=operation.op_type,
+            )
+            if self._recorder is not None:
+                if operation.op_type is OpType.WRITE:
+                    record = OperationRecord(
+                        client=self.node_id,
+                        object_id=operation.object_id,
+                        op_type=operation.op_type,
+                        invoked_at=started_at,
+                        completed_at=self.sim.now,
+                        value=operation.value,
+                    )
+                else:
+                    version = reply.version
+                    record = OperationRecord(
+                        client=self.node_id,
+                        object_id=operation.object_id,
+                        op_type=operation.op_type,
+                        invoked_at=started_at,
+                        completed_at=self.sim.now,
+                        value=version.value,
+                        stamp=version.stamp,
+                    )
+                self._recorder(record)
+            if self._think_time > 0:
+                yield self.sim.sleep(self._think_time)
+
+    def _issue(self, operation: OperationSpec) -> Future:
+        request_id = next(self._request_seq)
+        reply_future = self.sim.future(name=f"{self.node_id}.req{request_id}")
+        self._pending[request_id] = reply_future
+        self.operations_issued += 1
+        if operation.op_type is OpType.WRITE:
+            self.send(
+                self._proxy_id,
+                ClientWrite(
+                    object_id=operation.object_id,
+                    value=operation.value,
+                    size=operation.size,
+                    request_id=request_id,
+                ),
+                size=_HEADER_BYTES + operation.size,
+            )
+        else:
+            self.send(
+                self._proxy_id,
+                ClientRead(
+                    object_id=operation.object_id, request_id=request_id
+                ),
+                size=_HEADER_BYTES,
+            )
+        return reply_future
+
+    def _on_reply(self, envelope: Envelope) -> None:
+        reply = envelope.payload
+        future = self._pending.pop(reply.request_id, None)
+        if future is not None and not future.done:
+            future.resolve(reply)

@@ -1,0 +1,217 @@
+"""History-based consistency checking.
+
+The safety property Q-OPT preserves across reconfigurations is **Dynamic
+Quorum Consistency** (Section 5): a read's quorum intersects the write
+quorum of any concurrent write and, absent concurrent writes, of the
+last completed write.  Together with the total order on writes this
+yields regular-register semantics per object, strengthened to atomicity
+between non-concurrent reads by the freshest-timestamp selection rule.
+
+:class:`HistoryChecker` verifies both properties from client-observed
+histories (:class:`~repro.sds.client.OperationRecord`), with no access
+to server internals:
+
+1. **Plausibility** — every read returns either the initial value or the
+   value of a write that was invoked before the read completed.
+2. **No stale reads** — a read never returns a value overwritten by a
+   write that completed before the read was invoked (the interval-order
+   formulation of the regular-register condition).
+3. **Monotonic reads w.r.t. completed writes** — if an earlier,
+   non-concurrent read returned version ``v`` and ``v``'s write had
+   completed before the later read began, the later read returns a
+   version at least as new.
+
+Check 3 is deliberately *not* full atomicity: like the underlying
+quorum stores the paper builds on (and as the paper notes, the
+reconfiguration protocol is oblivious to "regular or atomic register"
+semantics), reads concurrent with an in-flight write may observe
+new-then-old across clients until that write completes.  Once a write
+completes — i.e. its full write quorum acknowledged — every subsequent
+read quorum intersects it and staleness is impossible, which is exactly
+what checks 2 and 3 verify.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.types import ObjectId, OpType
+from repro.sds.client import OperationRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected consistency violation."""
+
+    kind: str
+    object_id: ObjectId
+    description: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.object_id}: {self.description}"
+
+
+@dataclass
+class HistoryChecker:
+    """Collects operation records and checks register semantics."""
+
+    records: list[OperationRecord] = field(default_factory=list)
+
+    def record(self, record: OperationRecord) -> None:
+        """Recorder callback — pass ``checker.record`` to the clients."""
+        self.records.append(record)
+
+    # -- checking -----------------------------------------------------------
+
+    def check(self) -> list[Violation]:
+        """Run all checks over the collected history."""
+        violations: list[Violation] = []
+        by_object: dict[ObjectId, list[OperationRecord]] = {}
+        for record in self.records:
+            by_object.setdefault(record.object_id, []).append(record)
+        for object_id, history in by_object.items():
+            violations.extend(self._check_object(object_id, history))
+        return violations
+
+    def assert_consistent(self) -> None:
+        """Raise ``AssertionError`` listing any violations."""
+        violations = self.check()
+        if violations:
+            summary = "\n".join(str(v) for v in violations[:10])
+            raise AssertionError(
+                f"{len(violations)} consistency violations, e.g.:\n{summary}"
+            )
+
+    # -- per-object logic ------------------------------------------------------
+
+    def _check_object(
+        self, object_id: ObjectId, history: list[OperationRecord]
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        reads = [r for r in history if r.op_type is OpType.READ]
+        # Clients record every write twice: at invocation (with an
+        # infinite completion time) and at completion.  Keep one record
+        # per value, preferring the completed one; a write that never
+        # completed stays with completed_at = inf and can never make a
+        # later read stale.
+        write_by_value: dict[bytes, OperationRecord] = {}
+        for record in history:
+            if record.op_type is not OpType.WRITE or record.value is None:
+                continue
+            existing = write_by_value.get(record.value)
+            if existing is None or record.completed_at < existing.completed_at:
+                write_by_value[record.value] = record
+        writes = list(write_by_value.values())
+
+        # Precompute, over writes sorted by completion time, the running
+        # maximum of invocation times: for a read invoked at t, the
+        # largest write-invocation time among writes completed before t
+        # tells us whether any completed write strictly follows a
+        # candidate returned write in the interval order.
+        writes_by_completion = sorted(writes, key=lambda w: w.completed_at)
+        completion_times = [w.completed_at for w in writes_by_completion]
+        prefix_max_invocation: list[float] = []
+        running = float("-inf")
+        for write in writes_by_completion:
+            running = max(running, write.invoked_at)
+            prefix_max_invocation.append(running)
+
+        for read in reads:
+            # 1. Plausibility.
+            source: Optional[OperationRecord] = None
+            if read.value is not None:
+                source = write_by_value.get(read.value)
+                if source is None:
+                    violations.append(
+                        Violation(
+                            kind="fabricated-value",
+                            object_id=object_id,
+                            description=(
+                                f"read at {read.invoked_at:.4f} returned "
+                                f"{read.value!r}, written by no recorded write"
+                            ),
+                        )
+                    )
+                    continue
+                if source.invoked_at >= read.completed_at:
+                    violations.append(
+                        Violation(
+                            kind="future-read",
+                            object_id=object_id,
+                            description=(
+                                f"read completed at {read.completed_at:.4f} "
+                                "returned a value whose write started at "
+                                f"{source.invoked_at:.4f}"
+                            ),
+                        )
+                    )
+                    continue
+
+            # 2. Staleness: is there a write w' completed before this
+            # read started, such that the returned write finished before
+            # w' began?  (The returned write was then overwritten by a
+            # non-concurrent, completed write.)
+            index = bisect.bisect_left(completion_times, read.invoked_at)
+            if index > 0:
+                latest_follower_invocation = prefix_max_invocation[index - 1]
+                source_completed = (
+                    source.completed_at if source is not None else float("-inf")
+                )
+                if source_completed < latest_follower_invocation:
+                    violations.append(
+                        Violation(
+                            kind="stale-read",
+                            object_id=object_id,
+                            description=(
+                                f"read invoked at {read.invoked_at:.4f} "
+                                "missed a write that completed earlier "
+                                "and did not overlap the returned write"
+                            ),
+                        )
+                    )
+
+        # 3. Monotonic reads w.r.t. completed writes: an earlier read's
+        # observation becomes binding once BOTH the read itself and the
+        # write that produced its value have completed.  An observation's
+        # "availability time" is therefore max(read completion, source
+        # write completion); any read invoked after that must return a
+        # stamp at least as new.
+        observations: list[tuple[float, OperationRecord]] = []
+        for read in reads:
+            if read.value is None:
+                continue
+            source = write_by_value.get(read.value)
+            if source is None:
+                continue  # already reported as fabricated
+            available_at = max(read.completed_at, source.completed_at)
+            if available_at != float("inf"):
+                observations.append((available_at, read))
+        observations.sort(key=lambda pair: pair[0])
+        reads_by_invocation = sorted(reads, key=lambda r: r.invoked_at)
+        best_stamp = None
+        pointer = 0
+        for read in reads_by_invocation:
+            while (
+                pointer < len(observations)
+                and observations[pointer][0] < read.invoked_at
+            ):
+                candidate = observations[pointer][1].stamp
+                if best_stamp is None or candidate > best_stamp:
+                    best_stamp = candidate
+                pointer += 1
+            if best_stamp is not None and read.stamp < best_stamp:
+                violations.append(
+                    Violation(
+                        kind="non-monotonic-read",
+                        object_id=object_id,
+                        description=(
+                            f"read invoked at {read.invoked_at:.4f} returned "
+                            f"stamp {read.stamp}, older than the stamp "
+                            f"{best_stamp} observed by an earlier read of a "
+                            "write that had already completed"
+                        ),
+                    )
+                )
+        return violations

@@ -1,0 +1,366 @@
+"""Wire messages of the Q-OPT protocol stack.
+
+One dataclass per message named in the paper's pseudo-code (Algorithms
+1-6), plus the client-facing read/write requests.  Node classes dispatch
+on these types; keeping them in one module doubles as the protocol's wire
+format documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.common.types import NodeId, ObjectId, QuorumConfig, Version, VersionStamp
+from repro.sds.quorum import QuorumPlan
+
+# --------------------------------------------------------------------------
+# Client <-> Proxy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientRead:
+    """Client asks its proxy to read an object."""
+
+    object_id: ObjectId
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ClientWrite:
+    """Client asks its proxy to write an object."""
+
+    object_id: ObjectId
+    value: bytes
+    size: int
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ClientReadReply:
+    """Proxy -> client: the freshest version found by the read quorum."""
+
+    object_id: ObjectId
+    version: Version
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ClientWriteReply:
+    """Proxy -> client: the write reached its write quorum."""
+
+    object_id: ObjectId
+    request_id: int
+
+
+# --------------------------------------------------------------------------
+# Proxy <-> Storage (Algorithms 4, 5, 6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaRead:
+    """[Read, oid, curepno] of Algorithm 4."""
+
+    object_id: ObjectId
+    epoch_no: int
+    op_id: int
+
+
+@dataclass(frozen=True)
+class ReplicaReadReply:
+    """[ReadReply, oid, val, ts] with the cfg_no piggybacked (Alg. 6 l.19)."""
+
+    object_id: ObjectId
+    version: Version
+    op_id: int
+    replica: NodeId
+
+
+@dataclass(frozen=True)
+class ReplicaWrite:
+    """[Write, oid, val, ts, curepno] of Algorithm 5.
+
+    ``cfg_no`` is the configuration number under which the issuing proxy
+    executed the write; the storage node records it in the version
+    metadata (Algorithm 6 line 17).  The paper's pseudo-code keeps cfNo
+    implicit on the wire; carrying the proxy's number explicitly is the
+    conservative reading (it is exactly the configuration whose write
+    quorum this write satisfies).
+    """
+
+    object_id: ObjectId
+    value: bytes
+    size: int
+    stamp: VersionStamp
+    epoch_no: int
+    cfg_no: int
+    op_id: int
+
+
+@dataclass(frozen=True)
+class ReplicaWriteReply:
+    """[WriteReply, oid] of Algorithm 5."""
+
+    object_id: ObjectId
+    op_id: int
+    replica: NodeId
+
+
+@dataclass(frozen=True)
+class ReplicaSync:
+    """Background anti-entropy push between storage nodes.
+
+    Swift's object replicator periodically copies each object to the
+    replicas that missed its foreground write quorum; receivers keep the
+    version only if it is newer than what they hold.  This traffic is
+    invisible to proxies and clients but keeps every replica populated,
+    as in the paper's test-bed.
+    """
+
+    object_id: ObjectId
+    version: Version
+
+
+@dataclass(frozen=True)
+class EpochNack:
+    """[NACK, epNo, cfNo, newR, newW] (Algorithm 6 line 13).
+
+    Sent by a storage node that already moved to a later epoch; carries
+    that epoch's number and quorum plan so the stale proxy can catch up
+    and re-execute (Algorithm 4 lines 5-8, Algorithm 5 lines 8-11).
+    """
+
+    epoch_no: int
+    cfg_no: int
+    plan: QuorumPlan
+    op_id: int
+    replica: NodeId
+
+
+# --------------------------------------------------------------------------
+# Reconfiguration Manager <-> Proxy (Algorithms 2, 3)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NewQuorum:
+    """[NEWQ, epNo, cfNo, newR, newW]: phase 1 of the reconfiguration."""
+
+    epoch_no: int
+    cfg_no: int
+    plan: QuorumPlan
+
+
+@dataclass(frozen=True)
+class AckNewQuorum:
+    """[ACKNEWQ, epNo]: proxy switched to the transition quorum and its
+    pending old-quorum operations drained."""
+
+    epoch_no: int
+    proxy: NodeId
+
+
+@dataclass(frozen=True)
+class Confirm:
+    """[CONFIRM, epNo, newR, newW]: phase 2 — switch to the new quorum."""
+
+    epoch_no: int
+    cfg_no: int
+    plan: QuorumPlan
+
+
+@dataclass(frozen=True)
+class AckConfirm:
+    """[ACKCONFIRM, epNo]."""
+
+    epoch_no: int
+    proxy: NodeId
+
+
+@dataclass(frozen=True)
+class PauseProxy:
+    """Ablation A3 only: stop-the-world baseline reconfiguration.
+
+    Q-OPT's protocol is non-blocking; the naive alternative pauses all
+    client processing while the configuration switches.  These messages
+    exist solely so the E6 benchmark can quantify what the two-phase
+    protocol buys.
+    """
+
+    token: int
+
+
+@dataclass(frozen=True)
+class AckPause:
+    """Proxy paused and drained its in-flight operations."""
+
+    token: int
+    proxy: NodeId
+
+
+@dataclass(frozen=True)
+class ResumeProxy:
+    """Resume client processing after a stop-the-world switch."""
+
+    token: int
+
+
+# --------------------------------------------------------------------------
+# Reconfiguration Manager <-> Storage (Algorithms 2, 6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NewEpoch:
+    """[NEWEP, epNo, cfNo, newR, newW]: fence off stale proxies."""
+
+    epoch_no: int
+    cfg_no: int
+    plan: QuorumPlan
+
+
+@dataclass(frozen=True)
+class AckNewEpoch:
+    """[ACKNEWEP, epNo]."""
+
+    epoch_no: int
+    replica: NodeId
+
+
+# --------------------------------------------------------------------------
+# Autonomic Manager <-> Proxy (Algorithm 1)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NewRound:
+    """[NEWROUND, r]: start monitoring round ``r``."""
+
+    round_no: int
+
+
+@dataclass(frozen=True)
+class ObjectStats:
+    """Per-object workload profile shipped from proxies to the manager."""
+
+    object_id: ObjectId
+    reads: int
+    writes: int
+    mean_size: float
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def write_ratio(self) -> float:
+        total = self.accesses
+        return self.writes / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Aggregate profile of the tail of the access distribution."""
+
+    reads: int
+    writes: int
+    mean_size: float
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def write_ratio(self) -> float:
+        total = self.accesses
+        return self.writes / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """[ROUNDSTATS, r, topK, statsTopK, statsTail, th] (Alg. 1 line 7)."""
+
+    round_no: int
+    proxy: NodeId
+    #: Hotspot candidates for the *next* round (object id -> est. count).
+    top_k: Mapping[ObjectId, int]
+    #: Profiles of the objects monitored during the round that just ended.
+    stats_top_k: tuple[ObjectStats, ...]
+    #: Aggregate profile of everything not individually monitored.
+    stats_tail: AggregateStats
+    #: Proxy throughput (ops/s) over the round that just ended.
+    throughput: float
+    #: Mean client-operation latency (seconds) over the round.
+    mean_latency: float = 0.0
+
+
+@dataclass(frozen=True)
+class NewTopK:
+    """[NEWTOPK, r, topK]: objects each proxy must monitor next round."""
+
+    round_no: int
+    object_ids: frozenset[ObjectId]
+
+
+# --------------------------------------------------------------------------
+# Autonomic Manager <-> Oracle (Algorithm 1 lines 10-11, 20-21)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NewStats:
+    """[NEWSTATS, r, statsTopK]: ask for per-object quorum predictions."""
+
+    round_no: int
+    stats: tuple[ObjectStats, ...]
+
+
+@dataclass(frozen=True)
+class NewQuorums:
+    """[NEWQUORUMS, r, quorumsTopK]: predicted per-object quorums."""
+
+    round_no: int
+    quorums: Mapping[ObjectId, QuorumConfig]
+
+
+@dataclass(frozen=True)
+class TailStats:
+    """[TAILSTATS, statsTail]: ask for the tail's bulk quorum."""
+
+    stats: AggregateStats
+
+
+@dataclass(frozen=True)
+class TailQuorum:
+    """[TAILQUORUM, quorumTail]."""
+
+    quorum: QuorumConfig
+
+
+# --------------------------------------------------------------------------
+# Autonomic Manager <-> Reconfiguration Manager (Algorithm 1 lines 12, 22)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FineRec:
+    """[FINEREC, r, topK, quorumsTopK]: install per-object overrides."""
+
+    round_no: int
+    quorums: Mapping[ObjectId, QuorumConfig]
+
+
+@dataclass(frozen=True)
+class CoarseRec:
+    """[COARSEREC, quorumTail]: install a new tail default."""
+
+    quorum: QuorumConfig
+
+
+@dataclass(frozen=True)
+class AckRec:
+    """[ACKREC, r]: the reconfiguration concluded."""
+
+    round_no: int

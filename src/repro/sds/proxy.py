@@ -1,0 +1,489 @@
+"""Proxy node: Algorithms 3, 4 and 5 of the paper.
+
+Proxies are the SDS front-end (Figure 1): they turn client reads/writes
+into quorum accesses on the storage tier, and they are the participants
+of the non-blocking reconfiguration protocol:
+
+* **Algorithm 4 (read)** — gather the object's read quorum, pick the
+  freshest version; if that version was written under an older quorum
+  configuration whose write quorum may not intersect the current read
+  quorum, re-read with the largest read quorum installed since, and
+  asynchronously write the value back under the current configuration.
+* **Algorithm 5 (write)** — gather write-quorum acks for a totally
+  ordered (timestamp, proxy-id) stamped version.
+* **Algorithm 3 (reconfiguration)** — on NEWQ, switch to the transition
+  quorum, drain pending old-quorum operations, ack; on CONFIRM, switch to
+  the new quorum.  Epoch NACKs from storage nodes teach the proxy about
+  epochs it missed and trigger op re-execution.
+
+The proxy also hosts the monitoring hooks of Algorithm 1: per-access
+recording into a top-k stream summary and per-round statistics shipping
+to the Autonomic Manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Optional
+
+from repro.common.config import ProxyConfig
+from repro.common.types import (
+    NodeId,
+    ObjectId,
+    OpType,
+    Version,
+    VersionStamp,
+)
+from repro.sds.messages import (
+    AckConfirm,
+    AckNewQuorum,
+    AckPause,
+    ClientRead,
+    ClientReadReply,
+    ClientWrite,
+    ClientWriteReply,
+    Confirm,
+    EpochNack,
+    NewQuorum,
+    NewRound,
+    NewTopK,
+    PauseProxy,
+    ReplicaRead,
+    ReplicaReadReply,
+    ReplicaWrite,
+    ReplicaWriteReply,
+    ResumeProxy,
+    RoundStats,
+)
+from repro.sds.quorum import ConfigurationHistory, QuorumPlan
+from repro.sds.ring import PlacementRing, _hash64
+from repro.sds.vector_clocks import TimestampVersioning
+from repro.sim.kernel import Future, Simulator
+from repro.sim.network import Envelope, Network
+from repro.sim.node import Node
+from repro.sim.primitives import Gate, PendingCounter, Resource, any_of
+from repro.topk.stats import ProxyStatsRecorder
+
+#: Wire overhead of a request/reply beyond the object payload, bytes.
+_HEADER_BYTES = 256
+
+
+class _Gather:
+    """In-flight quorum collection for one replica-level operation."""
+
+    __slots__ = ("needed", "replies", "future")
+
+    def __init__(self, needed: int, future: Future) -> None:
+        self.needed = needed
+        self.replies: list = []
+        self.future = future
+
+    def add_reply(self, reply) -> None:
+        if self.future.done:
+            return
+        self.replies.append(reply)
+        if len(self.replies) >= self.needed:
+            self.future.resolve(("ok", list(self.replies)))
+
+    def add_nack(self, nack: EpochNack) -> None:
+        if self.future.done:
+            return
+        self.future.resolve(("nack", nack))
+
+
+class ProxyNode(Node):
+    """One Swift proxy process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: NodeId,
+        ring: PlacementRing,
+        config: ProxyConfig,
+        initial_plan: QuorumPlan,
+        rng: random.Random,
+        stats: Optional[ProxyStatsRecorder] = None,
+        versioning=None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self._versioning = versioning or TimestampVersioning()
+        self._ring = ring
+        self._config = config.validate()
+        self._rng = rng
+        self._cpu = Resource(
+            sim, concurrency=config.concurrency, name=f"{node_id}.cpu"
+        )
+        self._rotation = _hash64(str(node_id))
+
+        # Algorithm 3 state.
+        self._epoch_no = 0
+        self._cfg_no = 0
+        self._current_plan = initial_plan
+        self._transition_plan: Optional[QuorumPlan] = None
+        self._history = ConfigurationHistory()
+        self._history.record(0, initial_plan)
+        self._inflight = PendingCounter(sim)
+        # Ablation A3 hook: the stop-the-world baseline closes this gate.
+        self._pause_gate = Gate(sim, open_=True)
+
+        # Replica-level op routing.
+        self._op_seq = itertools.count(1)
+        self._gathers: dict[int, _Gather] = {}
+
+        # Monitoring (Algorithm 1 proxy side).
+        self.stats = stats
+        self._round_started_at = 0.0
+        self._round_completed = 0
+        self._round_latency_sum = 0.0
+
+        # Observability.
+        self.operations_completed = 0
+        self.operation_retries = 0
+        self.read_repairs = 0
+        self._sync_optimized()
+
+        self.register_handler(ClientRead, self._on_client_read)
+        self.register_handler(ClientWrite, self._on_client_write)
+        self.register_handler(ReplicaReadReply, self._on_replica_reply)
+        self.register_handler(ReplicaWriteReply, self._on_replica_reply)
+        self.register_handler(EpochNack, self._on_epoch_nack)
+        self.register_handler(NewQuorum, self._on_new_quorum)
+        self.register_handler(Confirm, self._on_confirm)
+        self.register_handler(NewRound, self._on_new_round)
+        self.register_handler(NewTopK, self._on_new_top_k)
+        self.register_handler(PauseProxy, self._on_pause)
+        self.register_handler(ResumeProxy, self._on_resume)
+
+    # -- read-only views ----------------------------------------------------
+
+    @property
+    def epoch_no(self) -> int:
+        return self._epoch_no
+
+    @property
+    def cfg_no(self) -> int:
+        return self._cfg_no
+
+    @property
+    def in_transition(self) -> bool:
+        return self._transition_plan is not None
+
+    def active_plan(self) -> QuorumPlan:
+        """The plan governing operations issued right now.
+
+        During phase 1 of a reconfiguration this is the transition plan
+        (pairwise max of old and new quorums); otherwise the installed
+        plan.
+        """
+        return self._transition_plan or self._current_plan
+
+    # -- client-facing operations (Algorithms 4 and 5) -------------------------
+
+    def _on_client_read(self, envelope: Envelope) -> Iterator:
+        request: ClientRead = envelope.payload
+        yield self._pause_gate.wait()
+        if self.stats is not None:
+            self.stats.record_access(request.object_id, OpType.READ, 0)
+        started_at = self.sim.now
+        counter = self._inflight
+        counter.increment()
+        version = yield from self._read(request.object_id)
+        counter.decrement()
+        if self.stats is not None:
+            self.stats.record_access_size(request.object_id, version.size)
+        self.send(
+            envelope.sender,
+            ClientReadReply(
+                object_id=request.object_id,
+                version=version,
+                request_id=request.request_id,
+            ),
+            size=_HEADER_BYTES + version.size,
+        )
+        self._complete_operation(self.sim.now - started_at)
+
+    def _on_client_write(self, envelope: Envelope) -> Iterator:
+        request: ClientWrite = envelope.payload
+        yield self._pause_gate.wait()
+        if self.stats is not None:
+            self.stats.record_access(
+                request.object_id, OpType.WRITE, request.size
+            )
+        started_at = self.sim.now
+        counter = self._inflight
+        counter.increment()
+        stamp = self._versioning.next_stamp(
+            str(self.node_id), request.object_id, self.sim.now
+        )
+        yield from self._write(
+            request.object_id, request.value, request.size, stamp
+        )
+        counter.decrement()
+        self.send(
+            envelope.sender,
+            ClientWriteReply(
+                object_id=request.object_id, request_id=request.request_id
+            ),
+            size=_HEADER_BYTES,
+        )
+        self._complete_operation(self.sim.now - started_at)
+
+    def _read(self, object_id: ObjectId) -> Iterator:
+        """Algorithm 4 body; returns the freshest safe :class:`Version`."""
+        while True:
+            read_quorum = self.active_plan().quorum_for(object_id).read
+            outcome = yield from self._gather_reads(object_id, read_quorum)
+            if outcome[0] == "nack":
+                self._adopt_from_nack(outcome[1])
+                continue
+            version = self._freshest(outcome[1])
+            # Lines 10-17: was the version written under a configuration
+            # whose write quorum might not intersect our read quorum?
+            repair_quorum = self._history.max_read_quorum(
+                object_id, version.cfg_no, self._cfg_no
+            )
+            if repair_quorum <= read_quorum:
+                self._versioning.observe(object_id, version.stamp)
+                return version
+            self.read_repairs += 1
+            outcome = yield from self._gather_reads(object_id, repair_quorum)
+            if outcome[0] == "nack":
+                self._adopt_from_nack(outcome[1])
+                continue
+            version = self._freshest(outcome[1])
+            # Line 27: write the value back under the current (larger)
+            # write quorum — asynchronously, after answering the client.
+            if version.value is not None:
+                self.spawn(
+                    self._write_back(object_id, version),
+                    name=f"{self.node_id}.write-back",
+                )
+            self._versioning.observe(object_id, version.stamp)
+            return version
+
+    def _write(
+        self,
+        object_id: ObjectId,
+        value: bytes,
+        size: int,
+        stamp: VersionStamp,
+    ) -> Iterator:
+        """Algorithm 5 body."""
+        while True:
+            write_quorum = self.active_plan().quorum_for(object_id).write
+            outcome = yield from self._gather_writes(
+                object_id, value, size, stamp, write_quorum
+            )
+            if outcome[0] == "nack":
+                self._adopt_from_nack(outcome[1])
+                continue
+            return
+
+    def _write_back(self, object_id: ObjectId, version: Version) -> Iterator:
+        yield from self._write(
+            object_id, version.value, version.size, version.stamp
+        )
+
+    # -- quorum gathering --------------------------------------------------------
+
+    def _gather_reads(self, object_id: ObjectId, quorum: int) -> Iterator:
+        def make_request(op_id: int) -> tuple:
+            return (
+                ReplicaRead(
+                    object_id=object_id,
+                    epoch_no=self._epoch_no,
+                    op_id=op_id,
+                ),
+                _HEADER_BYTES,
+            )
+
+        outcome = yield from self._gather(object_id, quorum, make_request)
+        return outcome
+
+    def _gather_writes(
+        self,
+        object_id: ObjectId,
+        value: bytes,
+        size: int,
+        stamp: VersionStamp,
+        quorum: int,
+    ) -> Iterator:
+        def make_request(op_id: int) -> tuple:
+            return (
+                ReplicaWrite(
+                    object_id=object_id,
+                    value=value,
+                    size=size,
+                    stamp=stamp,
+                    epoch_no=self._epoch_no,
+                    cfg_no=self._cfg_no,
+                    op_id=op_id,
+                ),
+                _HEADER_BYTES + size,
+            )
+
+        outcome = yield from self._gather(object_id, quorum, make_request)
+        return outcome
+
+    def _gather(self, object_id: ObjectId, quorum: int, make_request) -> Iterator:
+        """Contact ``quorum`` replicas; fall back to the rest on timeout.
+
+        Resolves with ``("ok", replies)`` once ``quorum`` replies arrive,
+        or ``("nack", nack)`` as soon as any replica rejects our epoch.
+        The fallback to the remaining replicas after ``fallback_timeout``
+        is the rarely-exercised failure path of Section 2.1.
+        """
+        order = self._ring.preferred_order(object_id, self._rotation)
+        quorum = min(quorum, len(order))
+        op_id = next(self._op_seq)
+        gather = _Gather(
+            needed=quorum, future=self.sim.future(name=f"gather-{op_id}")
+        )
+        self._gathers[op_id] = gather
+        # Marshalling cost on the proxy CPU, proportional to fan-out.
+        yield self._cpu.use(self._config.per_replica_cpu * quorum)
+        payload, size = make_request(op_id)
+        for replica in order[:quorum]:
+            self.send(replica, payload, size=size)
+        yield any_of(
+            self.sim,
+            [gather.future, self.sim.sleep(self._config.fallback_timeout)],
+        )
+        if not gather.future.done and len(order) > quorum:
+            for replica in order[quorum:]:
+                self.send(replica, payload, size=size)
+        outcome = yield gather.future
+        del self._gathers[op_id]
+        return outcome
+
+    def _on_replica_reply(self, envelope: Envelope) -> None:
+        reply = envelope.payload
+        gather = self._gathers.get(reply.op_id)
+        if gather is not None:
+            gather.add_reply(reply)
+
+    def _on_epoch_nack(self, envelope: Envelope) -> None:
+        nack: EpochNack = envelope.payload
+        gather = self._gathers.get(nack.op_id)
+        if gather is not None:
+            gather.add_nack(nack)
+
+    def _adopt_from_nack(self, nack: EpochNack) -> None:
+        """Lines 5-8 of Alg. 4 / 8-11 of Alg. 5: learn the newer epoch."""
+        self.operation_retries += 1
+        if nack.epoch_no > self._epoch_no:
+            self._epoch_no = nack.epoch_no
+            self._cfg_no = nack.cfg_no
+            self._current_plan = nack.plan
+            self._transition_plan = None
+            self._history.record(nack.cfg_no, nack.plan)
+            self._sync_optimized()
+
+    @staticmethod
+    def _freshest(replies: list[ReplicaReadReply]) -> Version:
+        """Select the value with the freshest timestamp (Alg. 4 line 9)."""
+        return max((reply.version for reply in replies), key=lambda v: v.stamp)
+
+    # -- Algorithm 3: reconfiguration ------------------------------------------------
+
+    def _on_new_quorum(self, envelope: Envelope) -> Iterator:
+        message: NewQuorum = envelope.payload
+        if self._epoch_no > message.epoch_no:
+            return
+        self._epoch_no = message.epoch_no
+        self._cfg_no = message.cfg_no
+        self._history.record(message.cfg_no, message.plan)
+        # New reads/writes are processed using the transition quorum.
+        self._transition_plan = self._current_plan.transition_with(
+            message.plan
+        )
+        # Wait until all pending operations issued under the old quorum
+        # complete; operations started from now on belong to a fresh
+        # counter and need not drain.
+        draining = self._inflight
+        self._inflight = PendingCounter(self.sim)
+        yield draining.wait_drained()
+        self.send(
+            envelope.sender,
+            AckNewQuorum(epoch_no=message.epoch_no, proxy=self.node_id),
+            size=_HEADER_BYTES,
+        )
+
+    def _on_confirm(self, envelope: Envelope) -> None:
+        message: Confirm = envelope.payload
+        if self._epoch_no > message.epoch_no:
+            return
+        self._epoch_no = message.epoch_no
+        self._current_plan = message.plan
+        self._transition_plan = None
+        self._sync_optimized()
+        self.send(
+            envelope.sender,
+            AckConfirm(epoch_no=message.epoch_no, proxy=self.node_id),
+            size=_HEADER_BYTES,
+        )
+
+    def _on_pause(self, envelope: Envelope) -> Iterator:
+        request: PauseProxy = envelope.payload
+        self._pause_gate.close()
+        yield self._inflight.wait_drained()
+        self.send(
+            envelope.sender,
+            AckPause(token=request.token, proxy=self.node_id),
+            size=_HEADER_BYTES,
+        )
+
+    def _on_resume(self, envelope: Envelope) -> None:
+        del envelope
+        self._pause_gate.open()
+
+    def _sync_optimized(self) -> None:
+        """Keep the stats recorder's notion of per-object overrides fresh."""
+        if self.stats is not None:
+            self.stats.set_optimized(frozenset(self._current_plan.overrides))
+
+    # -- Algorithm 1: monitoring hooks --------------------------------------------------
+
+    def _on_new_round(self, envelope: Envelope) -> None:
+        message: NewRound = envelope.payload
+        if self.stats is None:
+            return
+        now = self.sim.now
+        duration = max(now - self._round_started_at, 1e-9)
+        throughput = self._round_completed / duration
+        mean_latency = (
+            self._round_latency_sum / self._round_completed
+            if self._round_completed
+            else 0.0
+        )
+        top_k, monitored, tail = self.stats.snapshot_round(
+            already_optimized=frozenset(self._current_plan.overrides)
+        )
+        self.send(
+            envelope.sender,
+            RoundStats(
+                round_no=message.round_no,
+                proxy=self.node_id,
+                top_k=top_k,
+                stats_top_k=monitored,
+                stats_tail=tail,
+                throughput=throughput,
+                mean_latency=mean_latency,
+            ),
+            size=_HEADER_BYTES + 64 * (len(top_k) + len(monitored)),
+        )
+        self._round_started_at = now
+        self._round_completed = 0
+        self._round_latency_sum = 0.0
+
+    def _on_new_top_k(self, envelope: Envelope) -> None:
+        message: NewTopK = envelope.payload
+        if self.stats is not None:
+            self.stats.set_monitored(message.object_ids)
+
+    def _complete_operation(self, latency: float) -> None:
+        self.operations_completed += 1
+        self._round_completed += 1
+        self._round_latency_sum += latency

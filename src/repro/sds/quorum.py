@@ -1,0 +1,142 @@
+"""Quorum plans: global and per-object quorum assignments.
+
+Q-OPT assigns *different quorum systems to different items* (Section 5.4):
+the hot objects found by top-k analysis get individual (R, W) pairs while
+the tail of the access distribution shares a single default.  A
+:class:`QuorumPlan` captures one installed assignment — a default
+configuration plus per-object overrides — and is the unit the
+Reconfiguration Manager installs under a configuration number ``cfg_no``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ObjectId, QuorumConfig
+
+
+@dataclass(frozen=True)
+class QuorumPlan:
+    """An immutable quorum assignment: default + per-object overrides."""
+
+    default: QuorumConfig
+    overrides: Mapping[ObjectId, QuorumConfig] = field(default_factory=dict)
+
+    def quorum_for(self, object_id: ObjectId) -> QuorumConfig:
+        """The (R, W) pair governing accesses to ``object_id``."""
+        return self.overrides.get(object_id, self.default)
+
+    def validate_strict(self, replication_degree: int) -> "QuorumPlan":
+        self.default.validate_strict(replication_degree)
+        for object_id, quorum in self.overrides.items():
+            try:
+                quorum.validate_strict(replication_degree)
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"override for {object_id!r}: {exc}"
+                ) from exc
+        return self
+
+    def with_overrides(
+        self, updates: Mapping[ObjectId, QuorumConfig]
+    ) -> "QuorumPlan":
+        """New plan with additional/replaced per-object overrides."""
+        merged = dict(self.overrides)
+        merged.update(updates)
+        return QuorumPlan(default=self.default, overrides=merged)
+
+    def with_default(self, default: QuorumConfig) -> "QuorumPlan":
+        """New plan with a different tail (default) configuration."""
+        return QuorumPlan(default=default, overrides=dict(self.overrides))
+
+    @property
+    def max_read(self) -> int:
+        """Largest read quorum anywhere in the plan."""
+        return max(
+            [self.default.read] + [q.read for q in self.overrides.values()]
+        )
+
+    @property
+    def max_write(self) -> int:
+        """Largest write quorum anywhere in the plan."""
+        return max(
+            [self.default.write] + [q.write for q in self.overrides.values()]
+        )
+
+    def transition_with(self, other: "QuorumPlan") -> "QuorumPlan":
+        """Element-wise transition plan between two plans.
+
+        Per object, the transition quorum is the pairwise max of the old
+        and new (R, W) — the per-object generalization of Algorithm 3
+        line 13, guaranteeing intersection with both plans for every
+        object.
+        """
+        default = self.default.transition_with(other.default)
+        overrides: dict[ObjectId, QuorumConfig] = {}
+        for object_id in set(self.overrides) | set(other.overrides):
+            overrides[object_id] = self.quorum_for(object_id).transition_with(
+                other.quorum_for(object_id)
+            )
+        return QuorumPlan(default=default, overrides=overrides)
+
+    @staticmethod
+    def uniform(quorum: QuorumConfig) -> "QuorumPlan":
+        """A plan assigning the same configuration to every object."""
+        return QuorumPlan(default=quorum, overrides={})
+
+
+@dataclass(frozen=True)
+class InstalledConfiguration:
+    """A quorum plan together with the configuration number it got.
+
+    Proxies keep the history of installed configurations (the paper's set
+    ``Q``) to compute the read quorum needed when a read returns a version
+    written under an older configuration (Algorithm 4, lines 10-17).
+    """
+
+    cfg_no: int
+    plan: QuorumPlan
+
+
+class ConfigurationHistory:
+    """The proxy-side set ``Q`` of installed configurations.
+
+    Supports the single query Algorithm 4 needs: the largest read quorum
+    that governed ``object_id`` in any configuration between ``since``
+    and ``until`` (inclusive).  History can be pruned once a maximal read
+    quorum is installed (paper, footnote 2); we keep it simple and retain
+    everything, which is cheap at simulation scale.
+    """
+
+    def __init__(self) -> None:
+        self._installed: list[InstalledConfiguration] = []
+
+    def __len__(self) -> int:
+        return len(self._installed)
+
+    def record(self, cfg_no: int, plan: QuorumPlan) -> None:
+        if self._installed and cfg_no <= self._installed[-1].cfg_no:
+            # Re-delivery of an already-known configuration (e.g. via a
+            # NACK that raced a CONFIRM) is harmless; ignore it.
+            return
+        self._installed.append(InstalledConfiguration(cfg_no, plan))
+
+    def latest(self) -> Optional[InstalledConfiguration]:
+        return self._installed[-1] if self._installed else None
+
+    def max_read_quorum(
+        self, object_id: ObjectId, since: int, until: int
+    ) -> int:
+        """Largest read quorum for the object over cfg_no in [since, until].
+
+        Returns 0 when no recorded configuration falls in the range, which
+        callers treat as "no repair needed" (the version was written under
+        the initial configuration).
+        """
+        best = 0
+        for installed in self._installed:
+            if since <= installed.cfg_no <= until:
+                best = max(best, installed.plan.quorum_for(object_id).read)
+        return best

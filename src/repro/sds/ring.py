@@ -1,0 +1,163 @@
+"""Object placement: a consistent-hash ring, as in Swift.
+
+Swift maps objects to storage devices with a ring built from an MD5 hash
+of the object path; replicas of the same object always land on distinct
+nodes.  This module reproduces that behaviour with a classic
+virtual-node consistent-hash ring.  Placement is deterministic in the
+object id and the node set, so every component of the simulation (and
+every test) agrees on where replicas live.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import NodeId, ObjectId
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash (MD5-derived, like Swift's ring)."""
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class PlacementRing:
+    """Maps each object id to its ordered list of replica nodes.
+
+    The first ``replication_degree`` distinct nodes clockwise from the
+    object's hash position hold its replicas.  ``vnodes`` virtual points
+    per node smooth the load distribution.
+
+    Two optional Swift-ring features:
+
+    * **weights** — per-node capacity weights scale the number of virtual
+      points, shifting proportionally more objects onto bigger devices;
+    * **zones** — when nodes are assigned to failure zones, replica
+      selection prefers nodes from zones not yet used by the object
+      (Swift's "as unique as possible" placement), so that a zone outage
+      cannot take out a whole replica set when enough zones exist.
+    """
+
+    def __init__(
+        self,
+        nodes: list[NodeId],
+        replication_degree: int,
+        vnodes: int = 64,
+        weights: dict[NodeId, float] | None = None,
+        zones: dict[NodeId, str] | None = None,
+    ) -> None:
+        if replication_degree < 1:
+            raise ConfigurationError("replication degree must be >= 1")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigurationError("duplicate nodes in ring")
+        if replication_degree > len(nodes):
+            raise ConfigurationError(
+                f"replication degree {replication_degree} exceeds "
+                f"node count {len(nodes)}"
+            )
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        weights = weights or {}
+        for node, weight in weights.items():
+            if node not in set(nodes):
+                raise ConfigurationError(f"weight for unknown node {node}")
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"weight for {node} must be > 0, got {weight}"
+                )
+        zones = zones or {}
+        for node in zones:
+            if node not in set(nodes):
+                raise ConfigurationError(f"zone for unknown node {node}")
+        self._nodes = list(nodes)
+        self._replication_degree = replication_degree
+        self._zones = dict(zones)
+        points: list[tuple[int, NodeId]] = []
+        for node in nodes:
+            node_vnodes = max(1, round(vnodes * weights.get(node, 1.0)))
+            for replica_point in range(node_vnodes):
+                points.append((_hash64(f"{node}#{replica_point}"), node))
+        points.sort()
+        self._positions = [position for position, _node in points]
+        self._owners = [node for _position, node in points]
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self._nodes)
+
+    @property
+    def replication_degree(self) -> int:
+        return self._replication_degree
+
+    def zone_of(self, node: NodeId) -> str:
+        """The failure zone of a node ('' when zones are not configured)."""
+        return self._zones.get(node, "")
+
+    def replicas(self, object_id: ObjectId) -> list[NodeId]:
+        """The ordered replica set of an object (length = N, all distinct).
+
+        With zones configured, the walk clockwise from the object's hash
+        position first picks at most one node per zone; only once every
+        zone is represented (or exhausted) does it reuse zones.
+        """
+        start = bisect.bisect_right(self._positions, _hash64(object_id))
+        count = len(self._positions)
+        distinct: list[NodeId] = []
+        seen: set[NodeId] = set()
+        for offset in range(count):
+            owner = self._owners[(start + offset) % count]
+            if owner not in seen:
+                seen.add(owner)
+                distinct.append(owner)
+                if len(distinct) == len(self._nodes):
+                    break
+        if not self._zones:
+            return distinct[: self._replication_degree]
+        chosen: list[NodeId] = []
+        chosen_set: set[NodeId] = set()
+        used_zones: set[str] = set()
+        candidates = list(distinct)
+        while len(chosen) < self._replication_degree:
+            progressed = False
+            for node in candidates:
+                if node in chosen_set:
+                    continue
+                zone = self.zone_of(node)
+                if zone in used_zones:
+                    continue
+                chosen.append(node)
+                chosen_set.add(node)
+                used_zones.add(zone)
+                progressed = True
+                if len(chosen) == self._replication_degree:
+                    break
+            if len(chosen) == self._replication_degree:
+                break
+            if not progressed:
+                # All remaining zones are used: relax and start a new
+                # zone round (Swift's "as unique as possible").
+                used_zones = set()
+        return chosen
+
+    def preferred_order(
+        self, object_id: ObjectId, proxy_seed: int
+    ) -> list[NodeId]:
+        """Replica list rotated by a proxy-specific offset.
+
+        The paper load-balances by "a hash on the proxy identifier"
+        (Section 2.1): different proxies contact different quorums of the
+        same replica set, spreading read load.
+        """
+        replicas = self.replicas(object_id)
+        rotation = proxy_seed % len(replicas)
+        return replicas[rotation:] + replicas[:rotation]
+
+    def load_distribution(self, object_ids: list[ObjectId]) -> dict[NodeId, int]:
+        """Replica count per node over a population of objects (for tests)."""
+        counts: dict[NodeId, int] = {node: 0 for node in self._nodes}
+        for object_id in object_ids:
+            for node in self.replicas(object_id):
+                counts[node] += 1
+        return counts

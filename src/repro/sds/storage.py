@@ -1,0 +1,271 @@
+"""Storage node: Algorithm 6 of the paper plus a disk service model.
+
+A storage node keeps the latest version of each object it replicates,
+serves quorum reads/writes from proxies, and participates in epoch
+changes: once it acknowledges epoch ``e`` it NACKs every operation tagged
+with an older epoch, carrying the new epoch's quorum plan so stale
+proxies can catch up (Algorithm 6 lines 11-13).
+
+The service model follows Section 2.2's observations: writes must reach
+disk and are substantially slower than (mostly cached) reads, and both
+scale with object size.  Requests queue on a bounded-concurrency disk
+resource, which is what makes quorum sizes matter: every extra replica in
+a quorum adds load to the storage tier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.common.config import StorageConfig
+from repro.common.types import NodeId, ObjectId, Version, missing_version
+from repro.sds.messages import (
+    AckNewEpoch,
+    EpochNack,
+    NewEpoch,
+    ReplicaRead,
+    ReplicaReadReply,
+    ReplicaSync,
+    ReplicaWrite,
+    ReplicaWriteReply,
+)
+from repro.sds.quorum import QuorumPlan
+from repro.sds.ring import PlacementRing
+from repro.sim.kernel import Simulator
+from repro.sim.network import Envelope, Network
+from repro.sim.node import Node
+from repro.sim.primitives import Resource
+
+#: Wire overhead of a request/reply beyond the object payload, bytes.
+_HEADER_BYTES = 256
+
+
+class StorageNode(Node):
+    """One back-end object server (Figure 1's "Storage" boxes)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: NodeId,
+        config: StorageConfig,
+        initial_plan: QuorumPlan,
+        rng: random.Random,
+        ring: Optional[PlacementRing] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id)
+        self._config = config.validate()
+        self._rng = rng
+        self._ring = ring
+        self._versions: dict[ObjectId, Version] = {}
+        self._disk = Resource(
+            sim, concurrency=config.concurrency, name=f"{node_id}.disk"
+        )
+        # Algorithm 6 state: last epoch/configuration this node committed to.
+        self._epoch_no = 0
+        self._cfg_no = 0
+        self._plan = initial_plan
+        # Anti-entropy: objects written locally since the last cycle.
+        self._dirty: set[ObjectId] = set()
+        self._replicator_started = False
+        # Observability counters.
+        self.reads_served = 0
+        self.writes_served = 0
+        self.writes_discarded = 0
+        self.nacks_sent = 0
+        self.syncs_sent = 0
+        self.syncs_applied = 0
+
+        self.register_handler(ReplicaRead, self._on_read)
+        self.register_handler(ReplicaWrite, self._on_write)
+        self.register_handler(ReplicaSync, self._on_sync)
+        self.register_handler(NewEpoch, self._on_new_epoch)
+
+    def start(self) -> None:
+        super().start()
+        if (
+            not self._replicator_started
+            and self._ring is not None
+            and self._config.replication_interval > 0
+        ):
+            self._replicator_started = True
+            self.spawn(
+                self._replicator_loop(), name=f"{self.node_id}.replicator"
+            )
+
+    # -- protocol state (read-only views for tests) ---------------------------
+
+    @property
+    def epoch_no(self) -> int:
+        return self._epoch_no
+
+    @property
+    def cfg_no(self) -> int:
+        return self._cfg_no
+
+    @property
+    def disk(self) -> Resource:
+        return self._disk
+
+    def version_of(self, object_id: ObjectId) -> Version:
+        """Current stored version (ZERO-stamped if never written)."""
+        return self._versions.get(object_id, missing_version())
+
+    def stored_objects(self) -> list[ObjectId]:
+        return list(self._versions)
+
+    # -- Algorithm 6 ------------------------------------------------------------
+
+    def _on_new_epoch(self, envelope: Envelope) -> None:
+        message: NewEpoch = envelope.payload
+        # "if epNo >= lepNo then" — adopt the newer epoch; ack either way
+        # is not required by the pseudo-code, which only acks adopted
+        # epochs; we follow it literally.
+        if message.epoch_no >= self._epoch_no:
+            self._epoch_no = message.epoch_no
+            self._cfg_no = message.cfg_no
+            self._plan = message.plan
+            self.send(
+                envelope.sender,
+                AckNewEpoch(epoch_no=message.epoch_no, replica=self.node_id),
+                size=_HEADER_BYTES,
+            )
+
+    def _on_read(self, envelope: Envelope) -> Iterator:
+        message: ReplicaRead = envelope.payload
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id)
+            return
+        size_hint = self._versions.get(
+            message.object_id, missing_version()
+        ).size
+        yield self._disk.use(self._read_service_time(size_hint))
+        # Serve whatever is on disk once the request reaches the head of
+        # the queue (a concurrent write may have landed meanwhile).
+        version = self._versions.get(message.object_id, missing_version())
+        self.reads_served += 1
+        self.send(
+            envelope.sender,
+            ReplicaReadReply(
+                object_id=message.object_id,
+                version=version,
+                op_id=message.op_id,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES + version.size,
+        )
+
+    def _on_write(self, envelope: Envelope) -> Iterator:
+        message: ReplicaWrite = envelope.payload
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id)
+            return
+        yield self._disk.use(self._write_service_time(message.size))
+        current = self._versions.get(message.object_id)
+        # "storage nodes acknowledge the proxy but discard any write
+        # request that is older than the latest write operation that they
+        # have already acknowledged" (Section 2.1).  Equal stamps re-apply:
+        # that is the read-repair write-back refreshing the version's
+        # cfg_no under a newer configuration (Algorithm 4 line 27).
+        if current is None or message.stamp >= current.stamp:
+            self._versions[message.object_id] = Version(
+                value=message.value,
+                stamp=message.stamp,
+                cfg_no=message.cfg_no,
+                size=message.size,
+            )
+            self._dirty.add(message.object_id)
+            self.writes_served += 1
+        else:
+            self.writes_discarded += 1
+        self.send(
+            envelope.sender,
+            ReplicaWriteReply(
+                object_id=message.object_id,
+                op_id=message.op_id,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES,
+        )
+
+    # -- anti-entropy (Swift's object replicator) -----------------------------------
+
+    def _replicator_loop(self) -> Iterator:
+        """Periodically push locally updated objects to peer replicas.
+
+        Pushes are paced across the cycle (as Swift's replicator is
+        rate-limited) so that anti-entropy traffic is a smooth background
+        load rather than a periodic burst that would alias into the
+        foreground throughput measurements.
+        """
+        interval = self._config.replication_interval
+        # Desynchronize the fleet's cycles.
+        yield self.sim.sleep(self._rng.uniform(0, interval))
+        while self.alive:
+            dirty, self._dirty = self._dirty, set()
+            pacing = interval / (2 * len(dirty)) if dirty else 0.0
+            for object_id in dirty:
+                version = self._versions.get(object_id)
+                if version is None:
+                    continue
+                for peer in self._ring.replicas(object_id):
+                    if peer == self.node_id:
+                        continue
+                    self.syncs_sent += 1
+                    self.send(
+                        peer,
+                        ReplicaSync(object_id=object_id, version=version),
+                        size=_HEADER_BYTES + version.size,
+                    )
+                yield self.sim.sleep(pacing)
+            yield self.sim.sleep(
+                interval * self._rng.uniform(0.4, 0.6)
+            )
+
+    def _on_sync(self, envelope: Envelope) -> Iterator:
+        message: ReplicaSync = envelope.payload
+        current = self._versions.get(message.object_id)
+        if current is not None and message.version.stamp <= current.stamp:
+            return
+        yield self._disk.use(
+            self._write_service_time(message.version.size)
+        )
+        # Re-check: a fresher foreground write may have landed while the
+        # sync waited for the disk.
+        current = self._versions.get(message.object_id)
+        if current is None or message.version.stamp > current.stamp:
+            self._versions[message.object_id] = message.version
+            self.syncs_applied += 1
+
+    # -- service model ------------------------------------------------------------
+
+    def _noise(self) -> float:
+        """Multiplicative service-time variability (+-10%)."""
+        return self._rng.uniform(0.9, 1.1)
+
+    def _read_service_time(self, size: int) -> float:
+        config = self._config
+        time = config.read_service_time + size / config.read_bandwidth
+        if self._rng.random() < config.read_miss_ratio:
+            time += config.read_miss_penalty
+        return time * self._noise()
+
+    def _write_service_time(self, size: int) -> float:
+        config = self._config
+        time = config.write_service_time + size / config.write_bandwidth
+        return time * self._noise()
+
+    def _nack(self, recipient: NodeId, op_id: int) -> None:
+        self.nacks_sent += 1
+        self.send(
+            recipient,
+            EpochNack(
+                epoch_no=self._epoch_no,
+                cfg_no=self._cfg_no,
+                plan=self._plan,
+                op_id=op_id,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES,
+        )

@@ -1,0 +1,212 @@
+"""Vector-clock write ordering (the paper's Dynamo-style alternative).
+
+Section 2.1 notes that the total order over writes "is typically
+achieved either using globally synchronized clocks or using a
+combination of causal ordering and proxy identifiers (to order
+concurrent requests), e.g., based on vector clocks with commutative
+merge functions".  The default scheme in this repository is the
+synchronized-clock one (:class:`~repro.common.types.VersionStamp`);
+this module provides the vector-clock alternative:
+
+* :class:`VectorStamp` — an immutable vector clock tagged with the
+  issuing proxy.  Causally related stamps compare by dominance; stamps
+  from concurrent writes are ordered deterministically by
+  ``(total event count, proxy id, canonical entries)``.  Because causal
+  dominance strictly increases the total count, this tie-break is a
+  *linear extension* of the causal order — every replica applying
+  "keep the larger stamp" converges to the same version, which is the
+  commutative merge the paper refers to.
+* :class:`VectorVersioning` — the per-proxy stamping policy: each proxy
+  keeps the last stamp it observed per object (from its own reads and
+  writes) and issues new stamps by merging that context and incrementing
+  its own entry.
+
+Semantics note: with synchronized clocks the store's order is
+real-time-consistent; with vector clocks, two writes issued through
+different proxies with no intervening read are *causally concurrent*
+even if they do not overlap in real time, and the proxy-id tie-break may
+order them either way.  That is the standard weakening of Dynamo-style
+stores, and it is why the default experiments use timestamp ordering.
+The guarantees that do hold — per-proxy session ordering, causal
+ordering across read-then-write chains, and replica convergence — are
+covered by ``tests/sds/test_vector_clocks.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.common.types import VersionStamp
+
+
+def _is_zero_stamp(other: object) -> bool:
+    return isinstance(other, VersionStamp) and other.timestamp == float(
+        "-inf"
+    )
+
+
+@dataclass(frozen=True)
+class VectorStamp:
+    """An immutable vector clock with a deterministic total order."""
+
+    #: Canonical (sorted) tuple of (proxy id, event count) pairs.
+    entries: tuple[tuple[str, int], ...]
+    #: The proxy that issued the write carrying this stamp.
+    proxy: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "entries", tuple(sorted(self.entries))
+        )
+
+    # -- causal structure -------------------------------------------------------
+
+    def count_for(self, proxy: str) -> int:
+        for name, count in self.entries:
+            if name == proxy:
+                return count
+        return 0
+
+    @property
+    def total(self) -> int:
+        """Total events observed; strictly grows along causal edges."""
+        return sum(count for _name, count in self.entries)
+
+    def dominates(self, other: "VectorStamp") -> bool:
+        """True when this stamp causally descends from ``other``."""
+        if self.entries == other.entries:
+            return False
+        for name, count in other.entries:
+            if self.count_for(name) < count:
+                return False
+        return True
+
+    def concurrent_with(self, other: "VectorStamp") -> bool:
+        return (
+            self.entries != other.entries
+            and not self.dominates(other)
+            and not other.dominates(self)
+        )
+
+    def merge(self, other: "VectorStamp") -> "VectorStamp":
+        """Entry-wise maximum (commutative, associative, idempotent)."""
+        names = {name for name, _ in self.entries} | {
+            name for name, _ in other.entries
+        }
+        merged = tuple(
+            (name, max(self.count_for(name), other.count_for(name)))
+            for name in sorted(names)
+        )
+        return VectorStamp(entries=merged, proxy=self.proxy)
+
+    def increment(self, proxy: str) -> "VectorStamp":
+        """A new stamp with ``proxy``'s entry advanced by one."""
+        names = {name for name, _ in self.entries} | {proxy}
+        entries = tuple(
+            (
+                name,
+                self.count_for(name) + (1 if name == proxy else 0),
+            )
+            for name in sorted(names)
+        )
+        return VectorStamp(entries=entries, proxy=proxy)
+
+    # -- total order --------------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self.total, self.proxy, self.entries)
+
+    def _compare(self, other: object) -> Optional[int]:
+        if isinstance(other, VectorStamp):
+            if self.entries == other.entries and self.proxy == other.proxy:
+                return 0
+            return -1 if self._key() < other._key() else 1
+        if _is_zero_stamp(other):
+            return 1  # every real stamp is newer than "never written"
+        return None
+
+    def __lt__(self, other: object) -> bool:
+        result = self._compare(other)
+        if result is None:
+            return NotImplemented
+        return result < 0
+
+    def __le__(self, other: object) -> bool:
+        result = self._compare(other)
+        if result is None:
+            return NotImplemented
+        return result <= 0
+
+    def __gt__(self, other: object) -> bool:
+        result = self._compare(other)
+        if result is None:
+            return NotImplemented
+        return result > 0
+
+    def __ge__(self, other: object) -> bool:
+        result = self._compare(other)
+        if result is None:
+            return NotImplemented
+        return result >= 0
+
+    def __str__(self) -> str:
+        body = ",".join(f"{name}:{count}" for name, count in self.entries)
+        return f"vc[{body}]@{self.proxy}"
+
+
+#: Either stamping scheme, as stored in :class:`~repro.common.types.Version`.
+AnyStamp = Union[VersionStamp, VectorStamp]
+
+
+class TimestampVersioning:
+    """The default scheme: globally synchronized clocks + proxy id."""
+
+    def next_stamp(
+        self, proxy: str, object_id: str, now: float
+    ) -> VersionStamp:
+        return VersionStamp(timestamp=now, proxy=proxy)
+
+    def observe(self, object_id: str, stamp: AnyStamp) -> None:
+        """Timestamp ordering needs no causal context."""
+
+
+class VectorVersioning:
+    """Dynamo-style scheme: per-object causal context at each proxy."""
+
+    def __init__(self) -> None:
+        self._context: dict[str, VectorStamp] = {}
+
+    def next_stamp(
+        self, proxy: str, object_id: str, now: float
+    ) -> VectorStamp:
+        del now  # vector clocks are oblivious to wall time
+        context = self._context.get(object_id)
+        if context is None:
+            stamp = VectorStamp(entries=(), proxy=proxy).increment(proxy)
+        else:
+            stamp = context.increment(proxy)
+        self._context[object_id] = stamp
+        return stamp
+
+    def observe(self, object_id: str, stamp: AnyStamp) -> None:
+        """Fold a stamp returned by a read into the causal context."""
+        if not isinstance(stamp, VectorStamp):
+            return
+        context = self._context.get(object_id)
+        if context is None:
+            self._context[object_id] = stamp
+        else:
+            self._context[object_id] = context.merge(stamp)
+
+    def context_of(self, object_id: str) -> Optional[VectorStamp]:
+        return self._context.get(object_id)
+
+
+def make_versioning(scheme: str):
+    """Factory used by the cluster builder (``timestamp`` | ``vector``)."""
+    if scheme == "timestamp":
+        return TimestampVersioning()
+    if scheme == "vector":
+        return VectorVersioning()
+    raise ValueError(f"unknown versioning scheme {scheme!r}")

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate (kernel, network, nodes, failures)."""
+
+from repro.sim.failure import CrashManager, FailureDetector
+from repro.sim.kernel import Future, Interrupt, Process, Simulator
+from repro.sim.network import Envelope, Mailbox, Network
+from repro.sim.node import Node
+from repro.sim.primitives import (
+    Broadcast,
+    Gate,
+    Mutex,
+    PendingCounter,
+    Resource,
+    all_of,
+    any_of,
+    retry_until,
+)
+
+__all__ = [
+    "Broadcast",
+    "CrashManager",
+    "Envelope",
+    "FailureDetector",
+    "Future",
+    "Gate",
+    "Interrupt",
+    "Mailbox",
+    "Mutex",
+    "Network",
+    "Node",
+    "PendingCounter",
+    "Process",
+    "Resource",
+    "Simulator",
+    "all_of",
+    "any_of",
+    "retry_until",
+]

@@ -1,0 +1,115 @@
+"""Crash injection and the eventually-perfect failure detector.
+
+Q-OPT's system model (Sections 3 and 5) assumes fail-stop crashes and an
+*eventually perfect* failure detector (<>P) at the Reconfiguration
+Manager: it satisfies strong completeness (every crashed proxy is
+eventually suspected) and eventual strong accuracy (after some time, no
+correct proxy is suspected).  Before that time, the detector may lie —
+the reconfiguration protocol is *indulgent* and must stay safe under
+false suspicions, which this module lets tests inject deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.types import NodeId
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+@dataclass
+class _SuspicionWindow:
+    node: NodeId
+    start: float
+    end: float
+
+
+class CrashManager:
+    """Central authority for injecting and tracking fail-stop crashes."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self._sim = sim
+        self._network = network
+        self._crash_times: dict[NodeId, float] = {}
+        self._on_crash: list[Callable[[NodeId], None]] = []
+
+    def on_crash(self, callback: Callable[[NodeId], None]) -> None:
+        """Register a callback invoked with the node id on each crash."""
+        self._on_crash.append(callback)
+
+    def crash(self, node_id: NodeId) -> None:
+        """Crash the node now (idempotent)."""
+        if node_id in self._crash_times:
+            return
+        self._crash_times[node_id] = self._sim.now
+        self._network.crash(node_id)
+        for callback in self._on_crash:
+            callback(node_id)
+
+    def crash_at(self, node_id: NodeId, time: float) -> None:
+        """Schedule a crash at absolute simulated time ``time``."""
+        delay = time - self._sim.now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule crash in the past: {time}")
+        self._sim.schedule(delay, self.crash, node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        return node_id in self._crash_times
+
+    def crash_time(self, node_id: NodeId) -> Optional[float]:
+        return self._crash_times.get(node_id)
+
+    @property
+    def crashed_nodes(self) -> frozenset[NodeId]:
+        return frozenset(self._crash_times)
+
+
+class FailureDetector:
+    """Eventually-perfect failure detector backed by the crash manager.
+
+    A crashed node is suspected ``detection_delay`` seconds after its
+    crash (strong completeness with bounded detection latency).  False
+    suspicions of live nodes can be injected for bounded windows to
+    exercise indulgence; after the window closes the detector is accurate
+    again (eventual strong accuracy).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        crashes: CrashManager,
+        detection_delay: float = 0.5,
+    ) -> None:
+        if detection_delay < 0:
+            raise SimulationError("detection_delay must be >= 0")
+        self._sim = sim
+        self._crashes = crashes
+        self._detection_delay = detection_delay
+        self._false_windows: list[_SuspicionWindow] = []
+
+    def suspect(self, node_id: NodeId) -> bool:
+        """The paper's ``suspect(p_i)`` primitive (Section 5.1)."""
+        crash_time = self._crashes.crash_time(node_id)
+        if crash_time is not None:
+            if self._sim.now >= crash_time + self._detection_delay:
+                return True
+        now = self._sim.now
+        return any(
+            window.node == node_id and window.start <= now < window.end
+            for window in self._false_windows
+        )
+
+    def falsely_suspect(
+        self, node_id: NodeId, start: float, end: float
+    ) -> None:
+        """Make the detector wrongly suspect a live node in [start, end)."""
+        if end <= start:
+            raise SimulationError("false-suspicion window must be non-empty")
+        self._false_windows.append(_SuspicionWindow(node_id, start, end))
+
+    @property
+    def detection_delay(self) -> float:
+        return self._detection_delay

@@ -1,0 +1,6 @@
+"""Probabilistic top-k stream analysis and proxy workload monitoring."""
+
+from repro.topk.space_saving import SpaceSaving, TopKEntry
+from repro.topk.stats import ProxyStatsRecorder
+
+__all__ = ["ProxyStatsRecorder", "SpaceSaving", "TopKEntry"]

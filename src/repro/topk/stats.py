@@ -1,0 +1,172 @@
+"""Proxy-side workload monitoring (the proxy half of Algorithm 1).
+
+Each proxy records every client access with three granularities, keeping
+the monitoring overhead independent of the object population — the
+scalability requirement of Section 3:
+
+* a bounded :class:`~repro.topk.space_saving.SpaceSaving` summary, used
+  to nominate the next round's hotspot candidates (``topK_i^r``);
+* exact read/write/size counters for the *monitored set* — the top-k
+  objects the Autonomic Manager asked this proxy to profile during the
+  current round (``statsTopK_i``);
+* a single aggregate bucket for the tail — every access to an object
+  that is neither monitored nor already individually optimized
+  (``statsTail_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ObjectId, OpType
+from repro.sds.messages import AggregateStats, ObjectStats
+from repro.topk.space_saving import SpaceSaving
+
+
+@dataclass
+class _AccessTally:
+    """Mutable read/write/size tallies for one object or bucket."""
+
+    reads: int = 0
+    writes: int = 0
+    size_sum: float = 0.0
+    size_samples: int = 0
+
+    def record(self, op_type: OpType, size: int) -> None:
+        if op_type is OpType.WRITE:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if size > 0:
+            self.size_sum += size
+            self.size_samples += 1
+
+    def record_size(self, size: int) -> None:
+        if size > 0:
+            self.size_sum += size
+            self.size_samples += 1
+
+    @property
+    def mean_size(self) -> float:
+        if self.size_samples == 0:
+            return 0.0
+        return self.size_sum / self.size_samples
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.size_sum = 0.0
+        self.size_samples = 0
+
+
+@dataclass
+class _MonitoredTally(_AccessTally):
+    object_id: ObjectId = ""
+
+    def to_stats(self) -> ObjectStats:
+        return ObjectStats(
+            object_id=self.object_id,
+            reads=self.reads,
+            writes=self.writes,
+            mean_size=self.mean_size,
+        )
+
+
+class ProxyStatsRecorder:
+    """Per-proxy access monitor feeding the Autonomic Manager."""
+
+    def __init__(self, top_k: int, summary_capacity: int) -> None:
+        if top_k < 1:
+            raise ConfigurationError("top_k must be >= 1")
+        if summary_capacity < top_k:
+            raise ConfigurationError("summary_capacity must be >= top_k")
+        self._top_k = top_k
+        self._summary: SpaceSaving[ObjectId] = SpaceSaving(summary_capacity)
+        self._monitored: dict[ObjectId, _MonitoredTally] = {}
+        self._optimized: frozenset[ObjectId] = frozenset()
+        self._tail = _AccessTally()
+        self._last_object: ObjectId = ""
+        self._last_in_tail = False
+
+    # -- recording (hot path, called once per client access) -----------------
+
+    def record_access(
+        self, object_id: ObjectId, op_type: OpType, size: int
+    ) -> None:
+        """Record one client access.
+
+        For reads the size is unknown until the reply arrives; callers
+        pass 0 and follow up with :meth:`record_access_size`.
+        """
+        self._summary.update(object_id)
+        tally = self._monitored.get(object_id)
+        self._last_object = object_id
+        if tally is not None:
+            tally.record(op_type, size)
+            self._last_in_tail = False
+        elif object_id in self._optimized:
+            self._last_in_tail = False
+        else:
+            self._tail.record(op_type, size)
+            self._last_in_tail = True
+
+    def record_access_size(self, object_id: ObjectId, size: int) -> None:
+        """Attach the observed size to the access just recorded."""
+        if size <= 0 or object_id != self._last_object:
+            return
+        tally = self._monitored.get(object_id)
+        if tally is not None:
+            tally.record_size(size)
+        elif self._last_in_tail:
+            self._tail.record_size(size)
+
+    # -- control-plane updates --------------------------------------------------
+
+    def set_monitored(self, object_ids: frozenset[ObjectId]) -> None:
+        """Install the monitored set for the next round (NEWTOPK)."""
+        self._monitored = {
+            object_id: _MonitoredTally(object_id=object_id)
+            for object_id in object_ids
+        }
+
+    def set_optimized(self, object_ids: frozenset[ObjectId]) -> None:
+        """Objects already holding per-object overrides (out of the tail)."""
+        self._optimized = object_ids
+
+    @property
+    def monitored(self) -> frozenset[ObjectId]:
+        return frozenset(self._monitored)
+
+    # -- round snapshot (NEWROUND) -------------------------------------------------
+
+    def snapshot_round(
+        self, already_optimized: frozenset[ObjectId]
+    ) -> tuple[dict[ObjectId, int], tuple[ObjectStats, ...], AggregateStats]:
+        """Produce the proxy's ROUNDSTATS payload and reset round counters.
+
+        Returns ``(top_k_candidates, monitored_stats, tail_stats)`` where
+        candidates are the next hotspots that are neither already
+        optimized nor currently monitored (Algorithm 1: "the (next) top-k
+        objects that have not been optimized yet").
+        """
+        excluded = already_optimized | frozenset(self._monitored)
+        candidates: dict[ObjectId, int] = {}
+        for entry in self._summary.entries():
+            if entry.item in excluded:
+                continue
+            candidates[entry.item] = entry.count
+            if len(candidates) >= self._top_k:
+                break
+        monitored_stats = tuple(
+            tally.to_stats() for tally in self._monitored.values()
+        )
+        tail_stats = AggregateStats(
+            reads=self._tail.reads,
+            writes=self._tail.writes,
+            mean_size=self._tail.mean_size,
+        )
+        for tally in self._monitored.values():
+            tally.reset()
+        self._tail.reset()
+        return candidates, monitored_stats, tail_stats

@@ -1,0 +1,40 @@
+"""Workload generators: YCSB mixes, parametric sweeps, dynamic traces."""
+
+from repro.workloads.base import Operation, Workload
+from repro.workloads.generator import (
+    MixedWorkload,
+    MixtureComponent,
+    SWEEP_OBJECT_SIZES,
+    SWEEP_WRITE_RATIOS,
+    SyntheticWorkload,
+    WorkloadSpec,
+    sweep_specs,
+)
+from repro.workloads.traces import (
+    Phase,
+    PhasedWorkload,
+    ProfileFlipWorkload,
+    commute_trace,
+    diurnal_trace,
+)
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads import ycsb
+
+__all__ = [
+    "MixedWorkload",
+    "MixtureComponent",
+    "Operation",
+    "Phase",
+    "PhasedWorkload",
+    "ProfileFlipWorkload",
+    "SWEEP_OBJECT_SIZES",
+    "SWEEP_WRITE_RATIOS",
+    "SyntheticWorkload",
+    "Workload",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "commute_trace",
+    "diurnal_trace",
+    "sweep_specs",
+    "ycsb",
+]

@@ -1,0 +1,47 @@
+"""Workload model: operations and the source interface clients consume."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.common.types import ObjectId, OpType
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated client operation."""
+
+    object_id: ObjectId
+    op_type: OpType
+    size: int
+    value: bytes = b""
+
+
+class Workload:
+    """Base class for operation generators.
+
+    Subclasses implement :meth:`sample` returning ``(object_id, op_type,
+    size)``; the base class attaches globally unique write payloads so
+    consistency checkers can identify every written version.
+    """
+
+    def __init__(self) -> None:
+        self._write_seq = itertools.count(1)
+
+    def sample(
+        self, rng: random.Random
+    ) -> tuple[ObjectId, OpType, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def next_operation(self, rng: random.Random) -> Operation:
+        object_id, op_type, size = self.sample(rng)
+        if op_type is OpType.WRITE:
+            token = next(self._write_seq)
+            value = f"{object_id}#{token}".encode("utf-8")
+        else:
+            value = b""
+        return Operation(
+            object_id=object_id, op_type=op_type, size=size, value=value
+        )

@@ -1,0 +1,185 @@
+"""Time-varying workloads: phase switches and diurnal patterns.
+
+The paper motivates dynamic adaptation with the Dropbox study [14]:
+"some users switch between periods characterized by write-intensive
+workloads and periods characterized by read-intensive, or even
+read-only, workloads (for instance, when users commute from office to
+home)".  :class:`PhasedWorkload` models exactly that — a schedule of
+:class:`WorkloadSpec` phases the generator moves through as simulated
+time advances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import WorkloadError
+from repro.common.types import ObjectId, OpType
+from repro.workloads.base import Workload
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a time-varying workload."""
+
+    start_time: float
+    spec: WorkloadSpec
+
+
+class PhasedWorkload(Workload):
+    """Workload whose profile changes at scheduled simulated times.
+
+    All phases share the same object population (taken from the first
+    phase's spec) — what changes over time is the operation mix and
+    request skew, mirroring how a real tenant's access pattern shifts
+    over the same data.
+
+    The generator learns the current time through ``clock``, a callable
+    returning the simulated now (pass ``lambda: cluster.sim.now``).
+    """
+
+    def __init__(
+        self,
+        phases: list[Phase],
+        clock: Callable[[], float],
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not phases:
+            raise WorkloadError("PhasedWorkload needs at least one phase")
+        starts = [phase.start_time for phase in phases]
+        if starts != sorted(starts):
+            raise WorkloadError("phases must be sorted by start_time")
+        if starts[0] != 0.0:
+            raise WorkloadError("first phase must start at time 0")
+        population = phases[0].spec
+        self.phases = phases
+        self._clock = clock
+        # One SyntheticWorkload per phase, all sharing the object ids and
+        # sizes of the first phase so the population is stable.
+        self._workloads = []
+        base = SyntheticWorkload(population, seed=seed)
+        for phase in phases:
+            workload = SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=phase.spec.write_ratio,
+                    object_size=population.object_size,
+                    num_objects=population.num_objects,
+                    skew=phase.spec.skew,
+                    size_sigma=population.size_sigma,
+                    name=population.name,
+                ),
+                seed=seed,
+            )
+            workload._object_ids = base.object_ids()
+            workload._sizes = list(base._sizes)
+            self._workloads.append(workload)
+
+    def object_ids(self) -> list[ObjectId]:
+        return self._workloads[0].object_ids()
+
+    def phase_index_at(self, time: float) -> int:
+        """Index of the phase active at simulated ``time``."""
+        index = 0
+        for position, phase in enumerate(self.phases):
+            if phase.start_time <= time:
+                index = position
+        return index
+
+    def active_spec(self) -> WorkloadSpec:
+        return self.phases[self.phase_index_at(self._clock())].spec
+
+    def sample(self, rng: random.Random) -> tuple[ObjectId, OpType, int]:
+        workload = self._workloads[self.phase_index_at(self._clock())]
+        return workload.sample(rng)
+
+
+def commute_trace(
+    office_spec: WorkloadSpec,
+    home_spec: WorkloadSpec,
+    switch_time: float,
+    clock: Callable[[], float],
+    seed: int = 0,
+) -> PhasedWorkload:
+    """The Dropbox commute pattern: one switch between two profiles."""
+    return PhasedWorkload(
+        phases=[
+            Phase(start_time=0.0, spec=office_spec),
+            Phase(start_time=switch_time, spec=home_spec),
+        ],
+        clock=clock,
+        seed=seed,
+    )
+
+
+def diurnal_trace(
+    day_spec: WorkloadSpec,
+    night_spec: WorkloadSpec,
+    period: float,
+    cycles: int,
+    clock: Callable[[], float],
+    seed: int = 0,
+) -> PhasedWorkload:
+    """Alternating day/night profiles: ``cycles`` repetitions of
+    ``period`` seconds of each phase."""
+    phases: list[Phase] = []
+    for cycle in range(cycles):
+        phases.append(Phase(start_time=2 * cycle * period, spec=day_spec))
+        phases.append(
+            Phase(start_time=(2 * cycle + 1) * period, spec=night_spec)
+        )
+    return PhasedWorkload(phases=phases, clock=clock, seed=seed)
+
+
+class ProfileFlipWorkload(Workload):
+    """Two object populations that swap read/write profiles at a set time.
+
+    Before ``flip_time`` population A is read-heavy and population B is
+    write-heavy; afterwards the roles reverse.  This is the hard case for
+    per-object tuning: the overrides Q-OPT installed for each population
+    become exactly wrong at the flip and must be re-learned (made
+    possible by the Autonomic Manager keeping optimized objects under
+    monitoring).
+    """
+
+    def __init__(
+        self,
+        spec_a: WorkloadSpec,
+        spec_b: WorkloadSpec,
+        flip_time: float,
+        clock: Callable[[], float],
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if flip_time <= 0:
+            raise WorkloadError("flip_time must be > 0")
+        self.flip_time = flip_time
+        self._clock = clock
+        self._workload_a = SyntheticWorkload(spec_a, seed=seed)
+        self._workload_b = SyntheticWorkload(spec_b, seed=seed + 1)
+        self._spec_a = spec_a
+        self._spec_b = spec_b
+
+    def object_ids(self) -> list[ObjectId]:
+        return self._workload_a.object_ids() + self._workload_b.object_ids()
+
+    @property
+    def flipped(self) -> bool:
+        return self._clock() >= self.flip_time
+
+    def sample(self, rng: random.Random) -> tuple[ObjectId, OpType, int]:
+        # Pick the population uniformly, then apply the profile that
+        # currently governs it.
+        use_a = rng.random() < 0.5
+        workload = self._workload_a if use_a else self._workload_b
+        spec = self._spec_a if use_a else self._spec_b
+        write_ratio = spec.write_ratio
+        if self.flipped:
+            other = self._spec_b if use_a else self._spec_a
+            write_ratio = other.write_ratio
+        object_id, _op, size = workload.sample(rng)
+        op_type = OpType.WRITE if rng.random() < write_ratio else OpType.READ
+        return object_id, op_type, size

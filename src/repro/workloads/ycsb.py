@@ -1,0 +1,134 @@
+"""YCSB-style benchmark workloads (Cooper et al. [8] in the paper).
+
+Section 2.2 evaluates three representative workloads:
+
+* **Workload A** — "update heavy": 50% reads / 50% writes, modelling a
+  session store for a web application;
+* **Workload B** — "read mostly": 95% reads / 5% writes, modelling photo
+  tagging;
+* **Workload C (paper)** — 99% writes, modelling a backup / personal
+  file-storage service with upload-only users (this is the paper's third
+  workload; note that stock YCSB's "workload C" is 100% *reads* — the
+  paper reuses the letter for its backup scenario, and we follow the
+  paper).
+
+The remaining stock YCSB mixes (C-standard, D, F) are provided for
+completeness; YCSB E (scans) does not apply to a pure key-value API.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+#: Default object population and size used by the Section 2.2 experiments.
+DEFAULT_NUM_OBJECTS = 256
+DEFAULT_OBJECT_SIZE = 64 * 1024
+#: YCSB's default request skew.
+DEFAULT_SKEW = 0.99
+
+
+def workload_a(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> WorkloadSpec:
+    """YCSB A: 50/50 read-write (user session store)."""
+    return WorkloadSpec(
+        write_ratio=0.50,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=skew,
+        name="ycsb-a",
+    )
+
+
+def workload_b(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> WorkloadSpec:
+    """YCSB B: 95% reads (photo tagging)."""
+    return WorkloadSpec(
+        write_ratio=0.05,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=skew,
+        name="ycsb-b",
+    )
+
+
+def workload_c_paper(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> WorkloadSpec:
+    """The paper's Workload C: 99% writes (backup service)."""
+    return WorkloadSpec(
+        write_ratio=0.99,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=skew,
+        name="ycsb-c-paper",
+    )
+
+
+def workload_c_standard(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> WorkloadSpec:
+    """Stock YCSB C: 100% reads (user profile cache)."""
+    return WorkloadSpec(
+        write_ratio=0.0,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=skew,
+        name="ycsb-c-standard",
+    )
+
+
+def workload_d(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+) -> WorkloadSpec:
+    """Stock YCSB D: 95% reads of recently inserted items."""
+    return WorkloadSpec(
+        write_ratio=0.05,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=1.2,
+        name="ycsb-d",
+    )
+
+
+def workload_f(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> WorkloadSpec:
+    """Stock YCSB F: read-modify-write (50% reads, 50% writes)."""
+    return WorkloadSpec(
+        write_ratio=0.50,
+        object_size=object_size,
+        num_objects=num_objects,
+        skew=skew,
+        name="ycsb-f",
+    )
+
+
+#: The three workloads of Figure 2, in paper order.
+def figure2_workloads(
+    object_size: int = DEFAULT_OBJECT_SIZE,
+    num_objects: int = DEFAULT_NUM_OBJECTS,
+    skew: float = DEFAULT_SKEW,
+) -> list[WorkloadSpec]:
+    return [
+        workload_a(object_size, num_objects, skew),
+        workload_b(object_size, num_objects, skew),
+        workload_c_paper(object_size, num_objects, skew),
+    ]
+
+
+def build(spec: WorkloadSpec, seed: int = 0) -> SyntheticWorkload:
+    """Instantiate an operation stream for a YCSB spec."""
+    return SyntheticWorkload(spec, seed=seed)

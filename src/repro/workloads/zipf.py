@@ -1,0 +1,46 @@
+"""Zipf-distributed key selection, as used by YCSB's request skew.
+
+The sampler precomputes the CDF over ranks once and draws in
+O(log n) via binary search, so it is cheap enough for the hot path of a
+closed-loop client.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples ranks in ``[0, n)`` with P(rank r) proportional to 1/(r+1)^s.
+
+    ``exponent = 0`` degenerates to the uniform distribution, which is how
+    uniform workloads are expressed throughout the workload generators.
+    """
+
+    def __init__(self, n: int, exponent: float) -> None:
+        if n < 1:
+            raise WorkloadError("ZipfSampler needs n >= 1")
+        if exponent < 0:
+            raise WorkloadError("Zipf exponent must be >= 0")
+        self.n = n
+        self.exponent = exponent
+        weights = np.arange(1, n + 1, dtype=np.float64) ** (-exponent)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf: list[float] = cdf.tolist()
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank (0 = most popular)."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def probability(self, rank: int) -> float:
+        """Exact probability mass of ``rank``."""
+        if not 0 <= rank < self.n:
+            raise WorkloadError(f"rank {rank} out of [0, {self.n})")
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous

@@ -1,0 +1,167 @@
+"""Tests for the MVA throughput model, including DES cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.analysis.optimal import sweep_configurations
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+from repro.workloads.generator import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def model() -> MvaThroughputModel:
+    return MvaThroughputModel(
+        ClusterConfig(num_proxies=1, clients_per_proxy=10)
+    )
+
+
+class TestModelShape:
+    def test_throughput_positive_and_finite(self, model):
+        x = model.throughput(
+            WorkloadPoint(0.5, 64 * 1024), QuorumConfig(3, 3), clients=10
+        )
+        assert 0 < x < 1e6
+
+    def test_more_clients_no_less_throughput(self, model):
+        point = WorkloadPoint(0.5, 64 * 1024)
+        quorum = QuorumConfig(3, 3)
+        x_small = model.throughput(point, quorum, clients=2)
+        x_large = model.throughput(point, quorum, clients=30)
+        assert x_large >= x_small
+
+    def test_throughput_saturates(self, model):
+        point = WorkloadPoint(0.5, 64 * 1024)
+        quorum = QuorumConfig(3, 3)
+        x50 = model.throughput(point, quorum, clients=50)
+        x100 = model.throughput(point, quorum, clients=100)
+        assert x100 <= x50 * 1.2  # closed network saturates
+
+    def test_bigger_objects_slower(self, model):
+        quorum = QuorumConfig(3, 3)
+        small = model.throughput(WorkloadPoint(0.5, 1024), quorum, clients=10)
+        large = model.throughput(
+            WorkloadPoint(0.5, 1024 * 1024), quorum, clients=10
+        )
+        assert large < small
+
+    def test_write_heavy_prefers_small_write_quorum(self, model):
+        sweep = model.config_sweep(WorkloadPoint(0.99, 64 * 1024), clients=10)
+        assert max(sweep, key=lambda w: sweep[w]) == 1
+        assert sweep[1] > 2 * sweep[5]
+
+    def test_read_heavy_prefers_large_write_quorum(self, model):
+        sweep = model.config_sweep(WorkloadPoint(0.01, 64 * 1024), clients=10)
+        assert max(sweep, key=lambda w: sweep[w]) == 5
+        assert sweep[5] > 2 * sweep[1]
+
+    def test_optimum_depends_on_object_size(self, model):
+        """The Figure 3 nonlinearity: the same write ratio maps to
+        different optima as object size varies."""
+        optima = {
+            size: model.best_write_quorum(
+                WorkloadPoint(0.3, size), clients=10
+            )
+            for size in (1024, 64 * 1024, 1024 * 1024)
+        }
+        assert len(set(optima.values())) >= 2
+
+    def test_tuning_impact_reaches_several_x(self, model):
+        """The paper's 'up to 5x' claim, on the model."""
+        worst_case_ratio = 0.0
+        for write_ratio in (0.01, 0.5, 0.99):
+            sweep = model.config_sweep(
+                WorkloadPoint(write_ratio, 256 * 1024), clients=10
+            )
+            ratio = max(sweep.values()) / min(sweep.values())
+            worst_case_ratio = max(worst_case_ratio, ratio)
+        assert worst_case_ratio > 3.0
+
+    def test_invalid_inputs_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.throughput(
+                WorkloadPoint(1.5, 1024), QuorumConfig(3, 3), clients=10
+            )
+        with pytest.raises(ConfigurationError):
+            model.throughput(
+                WorkloadPoint(0.5, 1024), QuorumConfig(2, 2), clients=10
+            )
+        with pytest.raises(ConfigurationError):
+            model.throughput(
+                WorkloadPoint(0.5, 1024), QuorumConfig(3, 3), clients=0
+            )
+
+
+@pytest.mark.slow
+class TestAgreementWithSimulator:
+    """The model's ranking must match the discrete-event ground truth."""
+
+    @pytest.mark.parametrize(
+        "write_ratio,expected_extreme",
+        [(0.05, 5), (0.99, 1)],
+    )
+    def test_extreme_workload_optima_agree(
+        self, write_ratio, expected_extreme
+    ):
+        config = ClusterConfig(num_proxies=1, clients_per_proxy=10)
+        model = MvaThroughputModel(config)
+        predicted = model.best_write_quorum(
+            WorkloadPoint(write_ratio, 64 * 1024), clients=10
+        )
+        assert predicted == expected_extreme
+        spec = WorkloadSpec(
+            write_ratio=write_ratio,
+            object_size=64 * 1024,
+            num_objects=64,
+            skew=0.99,
+        )
+        measured = sweep_configurations(
+            spec, cluster_config=config, duration=6.0, warmup=2.0
+        )
+        assert measured.best_write_quorum == expected_extreme
+
+    def test_normalized_curves_correlate(self):
+        """Model and simulator agree on the *shape* of the config sweep."""
+        config = ClusterConfig(num_proxies=1, clients_per_proxy=10)
+        model = MvaThroughputModel(config)
+        spec = WorkloadSpec(
+            write_ratio=0.95, object_size=64 * 1024, num_objects=64
+        )
+        predicted = model.config_sweep(
+            WorkloadPoint(0.95, 64 * 1024), clients=10
+        )
+        measured = sweep_configurations(
+            spec, cluster_config=config, duration=6.0, warmup=2.0
+        ).throughputs
+        # Same monotone direction W=1 .. W=5.
+        predicted_order = sorted(predicted, key=lambda w: predicted[w])
+        measured_order = sorted(measured, key=lambda w: measured[w])
+        assert predicted_order == measured_order
+
+
+class TestResponseTime:
+    def test_littles_law_holds(self, model):
+        point = WorkloadPoint(0.5, 64 * 1024)
+        quorum = QuorumConfig(3, 3)
+        clients = 10
+        throughput = model.throughput(point, quorum, clients=clients)
+        response = model.response_time(point, quorum, clients=clients)
+        assert throughput * response == pytest.approx(clients, rel=1e-6)
+
+    def test_latency_grows_with_load(self, model):
+        point = WorkloadPoint(0.5, 64 * 1024)
+        quorum = QuorumConfig(3, 3)
+        assert model.response_time(
+            point, quorum, clients=50
+        ) > model.response_time(point, quorum, clients=2)
+
+    def test_latency_in_realistic_band(self, model):
+        """A lightly loaded mixed op on 64 KiB objects takes single-digit
+        milliseconds — the scale of the simulator's service model."""
+        response = model.response_time(
+            WorkloadPoint(0.5, 64 * 1024), QuorumConfig(3, 3), clients=1
+        )
+        assert 0.001 < response < 0.05

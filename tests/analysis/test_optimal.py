@@ -1,0 +1,94 @@
+"""Tests for the DES-based configuration sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.optimal import (
+    ConfigSweepResult,
+    measure_throughput,
+    sweep_configurations,
+)
+from repro.common.config import ClusterConfig, StorageConfig
+from repro.common.errors import ExperimentError
+from repro.workloads.generator import WorkloadSpec
+
+FAST_CLUSTER = ClusterConfig(
+    num_storage_nodes=6,
+    num_proxies=1,
+    clients_per_proxy=6,
+    storage=StorageConfig(replication_interval=0.5),
+)
+
+
+class TestMeasureThroughput:
+    def test_returns_positive_measurement(self):
+        spec = WorkloadSpec(
+            write_ratio=0.5, object_size=8192, num_objects=16, name="m"
+        )
+        result = measure_throughput(
+            spec,
+            write_quorum=3,
+            cluster_config=FAST_CLUSTER,
+            duration=3.0,
+            warmup=1.0,
+        )
+        assert result.throughput > 0
+        assert result.mean_latency > 0
+        assert result.quorum.write == 3
+        assert result.quorum.read == 3
+
+    def test_warmup_must_precede_duration(self):
+        spec = WorkloadSpec(write_ratio=0.5, object_size=8192)
+        with pytest.raises(ExperimentError):
+            measure_throughput(
+                spec, write_quorum=3, duration=2.0, warmup=2.0
+            )
+
+    def test_same_seed_reproduces(self):
+        spec = WorkloadSpec(
+            write_ratio=0.5, object_size=8192, num_objects=16, name="m"
+        )
+
+        def once():
+            return measure_throughput(
+                spec,
+                write_quorum=2,
+                cluster_config=FAST_CLUSTER,
+                duration=2.0,
+                warmup=0.5,
+                seed=9,
+            ).throughput
+
+        assert once() == once()
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self) -> ConfigSweepResult:
+        spec = WorkloadSpec(
+            write_ratio=0.95,
+            object_size=64 * 1024,
+            num_objects=24,
+            skew=0.9,
+            name="s",
+        )
+        return sweep_configurations(
+            spec, cluster_config=FAST_CLUSTER, duration=4.0, warmup=1.0
+        )
+
+    def test_covers_every_configuration(self, sweep):
+        assert sorted(sweep.throughputs) == [1, 2, 3, 4, 5]
+
+    def test_best_and_worst_consistent(self, sweep):
+        assert sweep.best_throughput == max(sweep.throughputs.values())
+        assert sweep.worst_throughput == min(sweep.throughputs.values())
+        assert sweep.tuning_impact >= 1.0
+
+    def test_normalized_peaks_at_one(self, sweep):
+        normalized = sweep.normalized()
+        assert max(normalized.values()) == pytest.approx(1.0)
+        assert normalized[sweep.best_write_quorum] == pytest.approx(1.0)
+
+    def test_write_heavy_sweep_prefers_small_w(self, sweep):
+        assert sweep.best_write_quorum <= 2

@@ -1,0 +1,244 @@
+"""Tests for the Autonomic Manager (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autonomic.manager import AutonomicManager, merge_round_stats
+from repro.autonomic.qopt import attach_qopt
+from repro.common.config import (
+    AutonomicConfig,
+    ClusterConfig,
+    NetworkConfig,
+    StorageConfig,
+)
+from repro.common.types import NodeId, QuorumConfig
+from repro.sds.cluster import SwiftCluster
+from repro.sds.messages import AggregateStats, ObjectStats, RoundStats
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+
+def round_stats(proxy_index, top_k, stats, tail, throughput):
+    return RoundStats(
+        round_no=1,
+        proxy=NodeId.proxy(proxy_index),
+        top_k=top_k,
+        stats_top_k=tuple(stats),
+        stats_tail=tail,
+        throughput=throughput,
+    )
+
+
+EMPTY_TAIL = AggregateStats(reads=0, writes=0, mean_size=0.0)
+
+
+class TestMergeRoundStats:
+    def test_candidate_counts_summed_and_ranked(self):
+        reports = [
+            round_stats(0, {"a": 10, "b": 5}, [], EMPTY_TAIL, 100.0),
+            round_stats(1, {"a": 7, "c": 20}, [], EMPTY_TAIL, 50.0),
+        ]
+        candidates, _objects, _tail, throughput = merge_round_stats(
+            reports, top_k=2
+        )
+        assert list(candidates) == ["c", "a"]
+        assert candidates["a"] == 17
+        assert throughput == pytest.approx(150.0)
+
+    def test_object_stats_merged_with_weighted_sizes(self):
+        reports = [
+            round_stats(
+                0,
+                {},
+                [ObjectStats("x", reads=8, writes=2, mean_size=100.0)],
+                EMPTY_TAIL,
+                0.0,
+            ),
+            round_stats(
+                1,
+                {},
+                [ObjectStats("x", reads=0, writes=10, mean_size=400.0)],
+                EMPTY_TAIL,
+                0.0,
+            ),
+        ]
+        _candidates, objects, _tail, _throughput = merge_round_stats(
+            reports, top_k=4
+        )
+        assert len(objects) == 1
+        merged = objects[0]
+        assert merged.reads == 8
+        assert merged.writes == 12
+        assert merged.write_ratio == pytest.approx(0.6)
+        assert merged.mean_size == pytest.approx(250.0)
+
+    def test_tail_merged(self):
+        reports = [
+            round_stats(
+                0, {}, [], AggregateStats(reads=10, writes=0, mean_size=50.0), 0.0
+            ),
+            round_stats(
+                1, {}, [], AggregateStats(reads=0, writes=10, mean_size=150.0), 0.0
+            ),
+        ]
+        _c, _o, tail, _t = merge_round_stats(reports, top_k=4)
+        assert tail.reads == 10
+        assert tail.writes == 10
+        assert tail.write_ratio == pytest.approx(0.5)
+        assert tail.mean_size == pytest.approx(100.0)
+
+    def test_empty_reports(self):
+        candidates, objects, tail, throughput = merge_round_stats([], top_k=4)
+        assert candidates == {}
+        assert objects == []
+        assert tail.accesses == 0
+        assert throughput == 0.0
+
+
+def fast_cluster_config(write=5):
+    return ClusterConfig(
+        num_storage_nodes=6,
+        num_proxies=2,
+        clients_per_proxy=4,
+        replication_degree=5,
+        initial_quorum=QuorumConfig.from_write(write, 5),
+        storage=StorageConfig(replication_interval=0.5),
+        network=NetworkConfig(),
+    )
+
+
+FAST_AM = AutonomicConfig(
+    round_duration=1.0, quarantine=0.2, top_k=4, gamma=2, theta=0.02
+)
+
+
+class TestControlLoop:
+    def test_write_heavy_workload_converges_to_small_w(self):
+        # Start from the worst configuration for a 99%-write workload.
+        cluster = SwiftCluster(fast_cluster_config(write=5), seed=2)
+        system = attach_qopt(cluster, autonomic_config=FAST_AM)
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=32,
+                    skew=0.99,
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(12.0)
+        manager = system.autonomic_manager
+        assert manager.rounds_executed >= 2
+        overrides = manager.installed_overrides
+        assert overrides, "fine-grain optimization installed no overrides"
+        assert all(q.write == 1 for q in overrides.values())
+
+    def test_throughput_improves_under_qopt(self):
+        cluster = SwiftCluster(fast_cluster_config(write=5), seed=2)
+        attach_qopt(cluster, autonomic_config=FAST_AM)
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=32,
+                    skew=0.99,
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(20.0)
+        early = cluster.log.throughput(0.5, 3.0)
+        late = cluster.log.throughput(17.0, 20.0)
+        assert late > 1.3 * early
+
+    def test_no_reconfiguration_when_already_optimal(self):
+        # Write-heavy workload already on W=1: the oracle agrees, so the
+        # manager must not flap.
+        cluster = SwiftCluster(fast_cluster_config(write=1), seed=3)
+        system = attach_qopt(cluster, autonomic_config=FAST_AM)
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99, object_size=64 * 1024, num_objects=32
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(10.0)
+        manager = system.autonomic_manager
+        rm = system.reconfiguration_manager
+        # Overrides that equal the installed default are still counted as
+        # overrides, but nothing should be installed repeatedly: at most
+        # one reconfiguration per managed object set.
+        assert rm.reconfigurations_completed <= manager.rounds_executed
+        assert manager.installed_default == QuorumConfig.from_write(1, 5)
+
+    def test_tail_only_mode_skips_fine_grain(self):
+        from dataclasses import replace
+
+        cluster = SwiftCluster(fast_cluster_config(write=5), seed=4)
+        system = attach_qopt(
+            cluster,
+            autonomic_config=replace(FAST_AM, enable_fine_grain=False),
+        )
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99, object_size=64 * 1024, num_objects=32
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(8.0)
+        manager = system.autonomic_manager
+        assert manager.fine_reconfigurations == 0
+        assert manager.installed_overrides == {}
+        assert manager.coarse_reconfigurations >= 1
+        assert manager.installed_default.write == 1
+
+    def test_respects_write_quorum_constraints(self):
+        from dataclasses import replace
+
+        cluster = SwiftCluster(fast_cluster_config(write=5), seed=5)
+        constrained = replace(FAST_AM, min_write_quorum=2)
+        system = attach_qopt(cluster, autonomic_config=constrained)
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=32,
+                    skew=0.99,
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(10.0)
+        manager = system.autonomic_manager
+        for quorum in manager.installed_overrides.values():
+            assert quorum.write >= 2
+        assert manager.installed_default.write >= 2
+
+    def test_proxy_crash_does_not_stall_the_loop(self):
+        cluster = SwiftCluster(fast_cluster_config(write=5), seed=6)
+        system = attach_qopt(cluster, autonomic_config=FAST_AM)
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=32,
+                    skew=0.99,
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(2.0)
+        cluster.crash_proxy(1)
+        cluster.run(10.0)
+        manager = system.autonomic_manager
+        assert manager.rounds_executed >= 3  # loop kept running
+        assert manager.installed_overrides  # and kept optimizing

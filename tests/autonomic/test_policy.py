@@ -1,0 +1,187 @@
+"""Unit tests for the control-loop robustness utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.autonomic.policy import (
+    EwmaPredictor,
+    MedianFilter,
+    PageHinkleyDetector,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestMedianFilter:
+    def test_single_sample_passthrough(self):
+        assert MedianFilter(window=3).update(5.0) == 5.0
+
+    def test_spike_suppressed(self):
+        f = MedianFilter(window=3)
+        f.update(100.0)
+        f.update(102.0)
+        assert f.update(10000.0) == 102.0  # spike does not pass
+
+    def test_even_window_averages_middle(self):
+        f = MedianFilter(window=4)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            f.update(value)
+        assert f.value == pytest.approx(2.5)
+
+    def test_window_slides(self):
+        f = MedianFilter(window=2)
+        f.update(1.0)
+        f.update(100.0)
+        assert f.update(100.0) == 100.0  # 1.0 evicted
+
+    def test_window_one_is_identity(self):
+        f = MedianFilter(window=1)
+        for value in [3.0, 9.0, 1.0]:
+            assert f.update(value) == value
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            MedianFilter(window=0)
+
+
+class TestPageHinkley:
+    def test_no_detection_on_stationary_signal(self):
+        rng = random.Random(0)
+        detector = PageHinkleyDetector(delta=0.05, threshold=2.0)
+        for _ in range(500):
+            assert not detector.update(1.0 + rng.gauss(0, 0.02))
+        assert detector.detections == 0
+
+    def test_detects_upward_shift(self):
+        rng = random.Random(1)
+        detector = PageHinkleyDetector(delta=0.05, threshold=2.0)
+        for _ in range(100):
+            detector.update(1.0 + rng.gauss(0, 0.02))
+        fired = False
+        for _ in range(100):
+            fired = fired or detector.update(2.0 + rng.gauss(0, 0.02))
+        assert fired
+        assert detector.detections >= 1
+
+    def test_detects_downward_shift(self):
+        rng = random.Random(2)
+        detector = PageHinkleyDetector(delta=0.05, threshold=2.0)
+        for _ in range(100):
+            detector.update(2.0 + rng.gauss(0, 0.02))
+        fired = False
+        for _ in range(100):
+            fired = fired or detector.update(1.0 + rng.gauss(0, 0.02))
+        assert fired
+
+    def test_reset_after_detection_allows_next_one(self):
+        detector = PageHinkleyDetector(delta=0.01, threshold=1.0)
+        for _ in range(50):
+            detector.update(1.0)
+        for _ in range(50):
+            detector.update(5.0)
+        first = detector.detections
+        assert first >= 1
+        for _ in range(100):
+            detector.update(5.0)
+        for _ in range(100):
+            detector.update(1.0)
+        assert detector.detections > first
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PageHinkleyDetector(delta=-1.0)
+        with pytest.raises(ConfigurationError):
+            PageHinkleyDetector(threshold=0.0)
+
+
+class TestEwmaPredictor:
+    def test_unprimed_predicts_zero(self):
+        predictor = EwmaPredictor()
+        assert not predictor.primed
+        assert predictor.predict() == 0.0
+
+    def test_constant_signal_predicted_exactly(self):
+        predictor = EwmaPredictor(alpha=0.5, beta=0.2)
+        for _ in range(50):
+            predictor.update(7.0)
+        assert predictor.predict() == pytest.approx(7.0, rel=0.01)
+
+    def test_linear_trend_extrapolated(self):
+        predictor = EwmaPredictor(alpha=0.6, beta=0.4)
+        for step in range(100):
+            predictor.update(10.0 + 2.0 * step)
+        # Next value of the ramp is 10 + 2*100 = 210.
+        assert predictor.predict(steps=1) == pytest.approx(210.0, rel=0.05)
+
+    def test_multi_step_forecast(self):
+        predictor = EwmaPredictor(alpha=0.6, beta=0.4)
+        for step in range(100):
+            predictor.update(float(step))
+        assert predictor.predict(steps=10) > predictor.predict(steps=1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EwmaPredictor(beta=1.5)
+
+
+class TestLatencyKpi:
+    def test_latency_kpi_converges_like_throughput(self):
+        """The AM driven by the latency KPI still finds the right plan."""
+        from repro.autonomic.qopt import attach_qopt
+        from repro.common.config import (
+            AutonomicConfig,
+            ClusterConfig,
+            StorageConfig,
+        )
+        from repro.common.types import QuorumConfig
+        from repro.sds.cluster import SwiftCluster
+        from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+        cluster = SwiftCluster(
+            ClusterConfig(
+                num_storage_nodes=6,
+                num_proxies=2,
+                clients_per_proxy=4,
+                initial_quorum=QuorumConfig(read=1, write=5),
+                storage=StorageConfig(replication_interval=0.5),
+            ),
+            seed=31,
+        )
+        system = attach_qopt(
+            cluster,
+            autonomic_config=AutonomicConfig(
+                round_duration=1.0,
+                quarantine=0.2,
+                top_k=6,
+                kpi="latency",
+                kpi_filter_window=3,
+            ),
+        )
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=32,
+                    skew=0.99,
+                ),
+                seed=1,
+            )
+        )
+        cluster.run(12.0)
+        overrides = system.autonomic_manager.installed_overrides
+        assert overrides
+        assert all(q.write == 1 for q in overrides.values())
+
+    def test_invalid_kpi_rejected(self):
+        from repro.common.config import AutonomicConfig
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            AutonomicConfig(kpi="iops").validate(5)
+        with pytest.raises(ConfigurationError):
+            AutonomicConfig(kpi_filter_window=0).validate(5)

@@ -1,0 +1,61 @@
+"""Unit tests for the deterministic RNG derivation."""
+
+from __future__ import annotations
+
+from repro.common.rng import SeedSequence, derive_seed, substream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_distinct_labels_distinct_seeds(self):
+        seeds = {
+            derive_seed(42, label, index)
+            for label in ("net", "storage", "client")
+            for index in range(10)
+        }
+        assert len(seeds) == 30
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_path_is_not_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+class TestSubstream:
+    def test_same_path_same_stream(self):
+        a = substream(7, "client", 3)
+        b = substream(7, "client", 3)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_paths_diverge(self):
+        a = substream(7, "client", 3)
+        b = substream(7, "client", 4)
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+
+class TestSeedSequence:
+    def test_sequence_is_reproducible(self):
+        first = SeedSequence(5, "nodes")
+        second = SeedSequence(5, "nodes")
+        assert [first.next_seed() for _ in range(4)] == [
+            second.next_seed() for _ in range(4)
+        ]
+
+    def test_sequence_values_distinct(self):
+        sequence = SeedSequence(5, "nodes")
+        seeds = [sequence.next_seed() for _ in range(100)]
+        assert len(set(seeds)) == 100
+
+    def test_streams_iterator(self):
+        streams = SeedSequence(5, "nodes").streams()
+        first = next(streams)
+        second = next(streams)
+        assert first.random() != second.random()

@@ -1,0 +1,61 @@
+"""Shared fixtures: small, fast cluster shapes for protocol tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, NetworkConfig, StorageConfig
+from repro.common.types import QuorumConfig
+from repro.sds.cluster import SwiftCluster
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim)
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    """A small cluster that still has a meaningful quorum system."""
+    return ClusterConfig(
+        num_storage_nodes=5,
+        num_proxies=2,
+        clients_per_proxy=3,
+        replication_degree=5,
+        initial_quorum=QuorumConfig(read=3, write=3),
+    )
+
+
+@pytest.fixture
+def tiny_objects_config() -> ClusterConfig:
+    """Small objects and no replicator noise — fast protocol tests."""
+    return ClusterConfig(
+        num_storage_nodes=5,
+        num_proxies=2,
+        clients_per_proxy=3,
+        replication_degree=5,
+        initial_quorum=QuorumConfig(read=3, write=3),
+        storage=StorageConfig(
+            read_service_time=0.0005,
+            write_service_time=0.001,
+            replication_interval=0.0,
+        ),
+        network=NetworkConfig(base_latency=0.0001),
+    )
+
+
+@pytest.fixture
+def small_cluster(small_config: ClusterConfig) -> SwiftCluster:
+    return SwiftCluster(small_config, seed=1)
+
+
+@pytest.fixture
+def tiny_cluster(tiny_objects_config: ClusterConfig) -> SwiftCluster:
+    return SwiftCluster(tiny_objects_config, seed=1)

@@ -1,0 +1,103 @@
+"""Tests for the E1-E4 experiment regenerators (fast parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.harness.figures import (
+    figure2,
+    figure3,
+    oracle_accuracy,
+    tuning_impact,
+)
+from repro.workloads.generator import sweep_specs
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return sweep_specs(
+        write_ratios=(0.01, 0.25, 0.5, 0.75, 0.99),
+        object_sizes=(4 * 1024, 64 * 1024, 1024 * 1024),
+    )
+
+
+class TestFigure3:
+    def test_shape_and_summary(self, small_grid):
+        result = figure3(specs=small_grid, clients=10)
+        assert len(result.points) == len(small_grid)
+        # Write-heavy end optimum is W=1, read-heavy end is W=5.
+        assert result.distinct_optima_at(1.0) == {5}
+        assert 1 in result.distinct_optima_at(99.0)
+        # A straight line does not explain the data perfectly.
+        assert result.linear_misclassification > 0.0
+        assert result.linear_r_squared < 1.0
+
+    def test_render_contains_summary(self, small_grid):
+        text = figure3(specs=small_grid, clients=10).render(sample=5)
+        assert "Figure 3" in text
+        assert "pearson" in text
+
+    def test_full_sweep_shows_nonlinearity(self):
+        result = figure3(clients=10)
+        assert len(result.points) >= 160
+        # The tree-motivating observation: the linear rule gets a large
+        # share of workloads wrong.
+        assert result.linear_misclassification > 0.15
+
+
+class TestTuningImpact:
+    def test_reaches_multiple_x(self, small_grid):
+        result = tuning_impact(specs=small_grid, clients=10)
+        assert result.max_impact > 3.0  # "up to 5x" territory
+        assert result.median_impact >= 1.0
+        assert 0 <= result.fraction_above(2.0) <= 1
+
+    def test_render(self, small_grid):
+        text = tuning_impact(specs=small_grid, clients=10).render()
+        assert "max impact" in text
+
+
+class TestOracleAccuracy:
+    def test_tree_dominates_baselines(self):
+        result = oracle_accuracy(folds=5, include_boosted=False)
+        tree = result.report_for("decision tree (C4.5)")
+        linear = result.report_for("linear fit")
+        static = result.report_for("static W=3")
+        assert tree.accuracy > linear.accuracy > static.accuracy
+        assert tree.mean_normalized_throughput > 0.97
+
+    def test_render_contains_all_models(self):
+        result = oracle_accuracy(folds=5, include_boosted=False)
+        text = result.render()
+        for name in ("decision tree", "linear fit", "majority", "static"):
+            assert name in text
+
+    def test_unknown_model_lookup_raises(self):
+        result = oracle_accuracy(folds=5, include_boosted=False)
+        with pytest.raises(KeyError):
+            result.report_for("nonexistent")
+
+
+@pytest.mark.slow
+class TestFigure2:
+    def test_figure2_shapes(self):
+        result = figure2(
+            cluster_config=ClusterConfig(num_proxies=1, clients_per_proxy=10),
+            object_size=64 * 1024,
+            num_objects=64,
+            duration=6.0,
+            warmup=2.0,
+        )
+        best = result.best_write_quorums()
+        # Read-dominated B wants a large W (small R); the write-heavy
+        # backup workload C wants W=1; mixed A sits strictly between the
+        # extremes' behaviour (its curve is not monotone-best-at-W=5).
+        assert best["ycsb-b"] >= 4
+        assert best["ycsb-c-paper"] == 1
+        assert best["ycsb-a"] <= 3
+        normalized = result.normalized()
+        for row in normalized.values():
+            assert max(row.values()) == pytest.approx(1.0)
+        text = result.render()
+        assert "ycsb-a" in text and "best W" in text

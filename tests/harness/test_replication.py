@@ -1,0 +1,95 @@
+"""Tests for multi-seed replication helpers, including a seed-stability
+check of the headline E1 conclusion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.optimal import sweep_configurations
+from repro.common.config import ClusterConfig, StorageConfig
+from repro.common.errors import ExperimentError
+from repro.harness.replication import (
+    ReplicatedChoice,
+    ReplicatedScalar,
+    replicate_choice,
+    replicate_scalar,
+)
+from repro.workloads.generator import WorkloadSpec
+
+
+class TestReplicatedScalar:
+    def test_mean_and_std(self):
+        summary = ReplicatedScalar(values=(1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.relative_std == pytest.approx(0.5)
+
+    def test_single_sample_has_zero_std(self):
+        summary = ReplicatedScalar(values=(5.0,))
+        assert summary.std == 0.0
+
+    def test_str_rendering(self):
+        text = str(ReplicatedScalar(values=(10.0, 12.0)))
+        assert "+-" in text and "n=2" in text
+
+
+class TestReplicatedChoice:
+    def test_mode_and_support(self):
+        choice = ReplicatedChoice(answers=(1, 1, 2))
+        assert choice.mode == 1
+        assert choice.support == pytest.approx(2 / 3)
+        assert not choice.unanimous
+
+    def test_unanimous(self):
+        assert ReplicatedChoice(answers=(3, 3, 3)).unanimous
+
+
+class TestReplicateHelpers:
+    def test_replicate_scalar_invokes_per_seed(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return float(seed)
+
+        summary = replicate_scalar(measure, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ExperimentError):
+            replicate_scalar(lambda s: 0.0, seeds=[])
+        with pytest.raises(ExperimentError):
+            replicate_choice(lambda s: 0, seeds=[])
+
+
+@pytest.mark.slow
+class TestSeedStability:
+    def test_best_quorum_for_write_heavy_workload_is_seed_stable(self):
+        """The E1 conclusion for the backup workload holds across seeds."""
+        cluster_config = ClusterConfig(
+            num_storage_nodes=6,
+            num_proxies=1,
+            clients_per_proxy=6,
+            storage=StorageConfig(replication_interval=0.5),
+        )
+        spec = WorkloadSpec(
+            write_ratio=0.99,
+            object_size=64 * 1024,
+            num_objects=24,
+            skew=0.9,
+            name="stab",
+        )
+
+        def best_quorum(seed: int) -> int:
+            return sweep_configurations(
+                spec,
+                cluster_config=cluster_config,
+                duration=4.0,
+                warmup=1.0,
+                seed=seed,
+            ).best_write_quorum
+
+        choice = replicate_choice(best_quorum, seeds=[1, 2, 3])
+        assert choice.mode == 1
+        assert choice.support == 1.0

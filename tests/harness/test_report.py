@@ -1,0 +1,64 @@
+"""Tests for the reproduction-report generator."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.harness.report import SECTIONS, build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> pathlib.Path:
+    (tmp_path / "e1_figure2.txt").write_text("E1 table body\n")
+    (tmp_path / "e3_tuning_impact.txt").write_text("E3 table body\n")
+    (tmp_path / "custom_extra.txt").write_text("extra body\n")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_includes_present_sections_in_order(self, results_dir):
+        report = build_report(results_dir)
+        assert "E1 table body" in report.text
+        assert "E3 table body" in report.text
+        assert report.text.index("Figure 2") < report.text.index(
+            "tuning impact"
+        )
+        assert set(report.present) == {"e1_figure2", "e3_tuning_impact"}
+
+    def test_missing_sections_listed(self, results_dir):
+        report = build_report(results_dir)
+        assert "e5_qopt_vs_static" in report.missing
+        assert not report.complete
+        assert "Missing experiments" in report.text
+
+    def test_extras_appended(self, results_dir):
+        report = build_report(results_dir)
+        assert "custom_extra" in report.text
+        assert "extra body" in report.text
+
+    def test_complete_when_everything_present(self, tmp_path):
+        for name, _title in SECTIONS:
+            (tmp_path / f"{name}.txt").write_text(f"{name} body\n")
+        report = build_report(tmp_path)
+        assert report.complete
+        assert "Missing experiments" not in report.text
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            build_report(tmp_path / "nope")
+
+
+class TestWriteReport:
+    def test_writes_default_path(self, results_dir):
+        path = write_report(results_dir)
+        assert path == results_dir / "REPORT.md"
+        assert "E1 table body" in path.read_text()
+
+    def test_writes_custom_path(self, results_dir, tmp_path):
+        target = tmp_path / "out"
+        target.mkdir()
+        path = write_report(results_dir, output=target / "r.md")
+        assert path.read_text().startswith("# Q-OPT reproduction report")

@@ -1,0 +1,65 @@
+"""Unit tests for the text table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ExperimentError
+from repro.harness.tables import (
+    format_percent,
+    format_ratio,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"], [("alpha", 1), ("b", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "-+-" in lines[2]
+        assert lines[3].startswith("alpha")
+        # Columns align: every row has the separator at the same offset.
+        offsets = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(offsets) == 1
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(["c"], [("a-very-long-cell",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_table([], [])
+
+    def test_no_rows_is_fine(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_points_rendered_with_precision(self):
+        text = render_series(
+            "t", "x", [(1.234, 5.678), (2.0, 3.0)], precision=1
+        )
+        assert "1.2" in text
+        assert "5.7" in text
+
+    def test_title_included(self):
+        assert render_series("t", "x", [], title="Z").startswith("Z")
+
+
+class TestFormatters:
+    def test_ratio(self):
+        assert format_ratio(1.234567) == "1.23"
+
+    def test_percent(self):
+        assert format_percent(0.1234) == "12.3%"

@@ -1,0 +1,96 @@
+"""Unit tests for throughput timelines and dip statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import OpType
+from repro.metrics.collector import OperationLog
+from repro.metrics.timeline import Timeline
+
+
+def log_with_rate(segments: list[tuple[float, float, float]]) -> OperationLog:
+    """Build a log with piecewise-constant op rates.
+
+    ``segments`` is a list of (start, end, ops_per_second).
+    """
+    log = OperationLog()
+    for start, end, rate in segments:
+        if rate <= 0:
+            continue
+        step = 1.0 / rate
+        t = start + step / 2
+        while t < end:
+            log.record(t, 0.001, OpType.READ)
+            t += step
+    return log
+
+
+class TestTimeline:
+    def test_bin_count(self):
+        log = log_with_rate([(0.0, 10.0, 100.0)])
+        timeline = Timeline(log, 0.0, 10.0, bin_width=1.0)
+        assert len(timeline) == 10
+
+    def test_constant_rate_measured(self):
+        log = log_with_rate([(0.0, 10.0, 100.0)])
+        timeline = Timeline(log, 0.0, 10.0, bin_width=1.0)
+        for point in timeline.points:
+            assert point.throughput == pytest.approx(100.0, rel=0.05)
+
+    def test_partial_final_bin(self):
+        log = log_with_rate([(0.0, 10.0, 100.0)])
+        timeline = Timeline(log, 0.0, 9.5, bin_width=1.0)
+        assert len(timeline) == 10
+        assert timeline.points[-1].end == pytest.approx(9.5)
+
+    def test_invalid_parameters_rejected(self):
+        log = OperationLog()
+        with pytest.raises(SimulationError):
+            Timeline(log, 5.0, 5.0, bin_width=1.0)
+        with pytest.raises(SimulationError):
+            Timeline(log, 0.0, 5.0, bin_width=0.0)
+
+    def test_mean_throughput_over_interval(self):
+        log = log_with_rate([(0.0, 5.0, 100.0), (5.0, 10.0, 200.0)])
+        timeline = Timeline(log, 0.0, 10.0, bin_width=1.0)
+        assert timeline.mean_throughput(0.0, 5.0) == pytest.approx(
+            100.0, rel=0.05
+        )
+        assert timeline.mean_throughput(5.0, 10.0) == pytest.approx(
+            200.0, rel=0.05
+        )
+
+
+class TestDipStatistics:
+    def test_detects_transient_dip(self):
+        log = log_with_rate(
+            [(0.0, 5.0, 100.0), (5.0, 6.0, 20.0), (6.0, 12.0, 100.0)]
+        )
+        timeline = Timeline(log, 0.0, 12.0, bin_width=0.5)
+        dip = timeline.dip_statistics(event_time=5.0, settle=2.0)
+        assert dip.before == pytest.approx(100.0, rel=0.1)
+        assert dip.during_min <= 25.0
+        assert dip.after == pytest.approx(100.0, rel=0.1)
+        assert dip.relative_dip > 0.7
+        assert abs(dip.relative_change) < 0.1
+
+    def test_no_dip_when_rate_constant(self):
+        log = log_with_rate([(0.0, 12.0, 100.0)])
+        timeline = Timeline(log, 0.0, 12.0, bin_width=0.5)
+        dip = timeline.dip_statistics(event_time=6.0, settle=2.0)
+        assert dip.relative_dip < 0.1
+
+    def test_steady_state_change_reported(self):
+        log = log_with_rate([(0.0, 5.0, 100.0), (5.0, 12.0, 150.0)])
+        timeline = Timeline(log, 0.0, 12.0, bin_width=0.5)
+        dip = timeline.dip_statistics(event_time=5.0, settle=1.0)
+        assert dip.relative_change == pytest.approx(0.5, abs=0.1)
+
+    def test_zero_before_throughput_handled(self):
+        log = log_with_rate([(6.0, 12.0, 100.0)])
+        timeline = Timeline(log, 0.0, 12.0, bin_width=0.5)
+        dip = timeline.dip_statistics(event_time=5.0, settle=1.0)
+        assert dip.relative_dip == 0.0
+        assert dip.relative_change == 0.0

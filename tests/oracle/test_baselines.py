@@ -1,0 +1,75 @@
+"""Unit tests for the baseline predictors (ablation A1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DatasetError, NotFittedError
+from repro.oracle.baselines import (
+    FixedRuleBaseline,
+    LinearBaseline,
+    MajorityBaseline,
+)
+
+
+class TestLinearBaseline:
+    def test_fits_a_linear_relationship(self):
+        X = [[0.0], [0.25], [0.5], [0.75], [1.0]]
+        y = [1, 2, 3, 4, 5]
+        model = LinearBaseline().fit(X, y)
+        assert model.predict(X) == y
+
+    def test_predictions_clipped_to_range(self):
+        X = [[0.0], [1.0]]
+        y = [1, 5]
+        model = LinearBaseline(min_label=1, max_label=5).fit(X, y)
+        assert model.predict_one([10.0]) == 5
+        assert model.predict_one([-10.0]) == 1
+
+    def test_cannot_fit_a_step_function_exactly(self):
+        """The Figure 3 argument: thresholds beat straight lines."""
+        X = [[x / 20.0] for x in range(21)]
+        y = [1 if x[0] < 0.3 else 5 for x in X]
+        model = LinearBaseline().fit(X, y)
+        errors = sum(p != t for p, t in zip(model.predict(X), y))
+        assert errors > 0
+
+    def test_errors(self):
+        with pytest.raises(NotFittedError):
+            LinearBaseline().predict_one([1.0])
+        with pytest.raises(DatasetError):
+            LinearBaseline().fit([], [])
+        with pytest.raises(DatasetError):
+            LinearBaseline(min_label=5, max_label=1)
+
+
+class TestMajorityBaseline:
+    def test_predicts_most_common(self):
+        model = MajorityBaseline().fit([[0.0]] * 5, [1, 2, 2, 2, 3])
+        assert model.predict_one([99.0]) == 2
+
+    def test_tie_broken_deterministically(self):
+        a = MajorityBaseline().fit([[0.0]] * 4, [1, 1, 2, 2])
+        b = MajorityBaseline().fit([[0.0]] * 4, [2, 2, 1, 1])
+        assert a.predict_one([0.0]) == b.predict_one([0.0])
+
+    def test_errors(self):
+        with pytest.raises(NotFittedError):
+            MajorityBaseline().predict_one([0.0])
+        with pytest.raises(DatasetError):
+            MajorityBaseline().fit([], [])
+
+
+class TestFixedRuleBaseline:
+    def test_always_predicts_configured_label(self):
+        model = FixedRuleBaseline(write_quorum=4)
+        assert model.predict([[0.0], [1.0]]) == [4, 4]
+        assert model.fitted
+
+    def test_fit_is_a_no_op(self):
+        model = FixedRuleBaseline(2)
+        assert model.fit([[1.0]], [9]).predict_one([1.0]) == 2
+
+    def test_invalid_quorum_rejected(self):
+        with pytest.raises(DatasetError):
+            FixedRuleBaseline(0)

@@ -1,0 +1,75 @@
+"""Unit tests for the AdaBoost.M1 ensemble."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import DatasetError, NotFittedError
+from repro.oracle.boosting import BoostedTreeClassifier
+from repro.oracle.decision_tree import DecisionTreeClassifier
+
+
+def noisy_steps(n=300, seed=0, noise=0.15):
+    """A stepwise function of one feature with label noise."""
+    rng = random.Random(seed)
+    X, y = [], []
+    for _ in range(n):
+        x = rng.random()
+        label = 1 if x < 0.3 else (2 if x < 0.7 else 3)
+        if rng.random() < noise:
+            label = rng.choice([1, 2, 3])
+        X.append([x])
+        y.append(label)
+    return X, y
+
+
+class TestBoosting:
+    def test_fits_and_predicts(self):
+        X, y = noisy_steps()
+        model = BoostedTreeClassifier(n_rounds=5).fit(X, y)
+        assert model.fitted
+        assert model.predict_one([0.1]) == 1
+        assert model.predict_one([0.5]) == 2
+        assert model.predict_one([0.9]) == 3
+
+    def test_at_least_as_good_as_single_shallow_tree(self):
+        X, y = noisy_steps(seed=3)
+        X_test, y_test = noisy_steps(seed=7, noise=0.0)
+
+        def accuracy(model):
+            predictions = model.predict(X_test)
+            return sum(p == t for p, t in zip(predictions, y_test)) / len(
+                y_test
+            )
+
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = BoostedTreeClassifier(n_rounds=10, max_depth=1).fit(X, y)
+        assert accuracy(boosted) >= accuracy(stump)
+
+    def test_perfect_round_stops_early(self):
+        X = [[0.0], [1.0]] * 10
+        y = [0, 1] * 10
+        model = BoostedTreeClassifier(n_rounds=10).fit(X, y)
+        assert model.rounds_used == 1  # first tree is perfect
+
+    def test_single_class_dataset(self):
+        model = BoostedTreeClassifier(n_rounds=5).fit([[1.0], [2.0]], [7, 7])
+        assert model.predict_one([5.0]) == 7
+
+    def test_predictions_in_training_classes(self):
+        X, y = noisy_steps()
+        model = BoostedTreeClassifier(n_rounds=5).fit(X, y)
+        for x in [0.0, 0.25, 0.5, 0.75, 1.0]:
+            assert model.predict_one([x]) in {1, 2, 3}
+
+    def test_errors(self):
+        with pytest.raises(NotFittedError):
+            BoostedTreeClassifier().predict_one([1.0])
+        with pytest.raises(DatasetError):
+            BoostedTreeClassifier().fit([], [])
+        with pytest.raises(DatasetError):
+            BoostedTreeClassifier(n_rounds=0)
+        with pytest.raises(DatasetError):
+            BoostedTreeClassifier().fit([[1.0]], [1, 2])

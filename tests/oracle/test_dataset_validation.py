@@ -1,0 +1,138 @@
+"""Tests for training-set generation and cross-validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
+from repro.common.errors import DatasetError
+from repro.oracle.baselines import LinearBaseline, MajorityBaseline
+from repro.oracle.dataset import (
+    TrainingSet,
+    generate_training_set,
+    label_point,
+)
+from repro.oracle.decision_tree import DecisionTreeClassifier
+from repro.oracle.validation import (
+    compare_models,
+    cross_validate,
+    k_fold_indices,
+)
+from repro.workloads.generator import sweep_specs
+
+
+@pytest.fixture(scope="module")
+def sweep_dataset() -> TrainingSet:
+    return generate_training_set()
+
+
+class TestLabelPoint:
+    def test_labels_write_heavy_with_small_w(self):
+        model = MvaThroughputModel()
+        example = label_point(
+            WorkloadPoint(write_ratio=0.99, object_size=64 * 1024), model
+        )
+        assert example.best_write_quorum == 1
+
+    def test_labels_read_heavy_with_large_w(self):
+        model = MvaThroughputModel()
+        example = label_point(
+            WorkloadPoint(write_ratio=0.01, object_size=64 * 1024), model
+        )
+        assert example.best_write_quorum == 5
+
+    def test_normalized_throughput_bounded(self):
+        model = MvaThroughputModel()
+        example = label_point(
+            WorkloadPoint(write_ratio=0.5, object_size=64 * 1024), model
+        )
+        for write in example.throughputs:
+            assert 0 < example.normalized_throughput(write) <= 1.0
+        assert example.normalized_throughput(
+            example.best_write_quorum
+        ) == pytest.approx(1.0)
+
+
+class TestGenerateTrainingSet:
+    def test_covers_the_paper_scale_sweep(self, sweep_dataset):
+        # "approx. 170 workloads"
+        assert 160 <= len(sweep_dataset) <= 180
+        assert len(sweep_dataset) == len(sweep_specs())
+
+    def test_labels_span_multiple_classes(self, sweep_dataset):
+        distribution = sweep_dataset.label_distribution()
+        assert len(distribution) >= 3
+        assert set(distribution) <= {1, 2, 3, 4, 5}
+
+    def test_features_are_finite_pairs(self, sweep_dataset):
+        for row in sweep_dataset.features:
+            assert len(row) == 2
+            assert all(x == x for x in row)  # no NaNs
+
+    def test_subset(self, sweep_dataset):
+        subset = sweep_dataset.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.examples[1] is sweep_dataset.examples[2]
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DatasetError):
+            TrainingSet([])
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        splits = k_fold_indices(20, folds=4, seed=1)
+        assert len(splits) == 4
+        all_test = sorted(i for _train, test in splits for i in test)
+        assert all_test == list(range(20))
+        for train, test in splits:
+            assert set(train).isdisjoint(test)
+            assert len(train) + len(test) == 20
+
+    def test_errors(self):
+        with pytest.raises(DatasetError):
+            k_fold_indices(10, folds=1)
+        with pytest.raises(DatasetError):
+            k_fold_indices(3, folds=5)
+
+
+class TestCrossValidation:
+    def test_tree_beats_linear_on_the_sweep(self, sweep_dataset):
+        """The Figure 3 argument, quantified (ablation A1)."""
+        reports = compare_models(
+            sweep_dataset,
+            [
+                ("tree", lambda: DecisionTreeClassifier()),
+                ("linear", lambda: LinearBaseline()),
+                ("majority", lambda: MajorityBaseline()),
+            ],
+            folds=10,
+        )
+        by_name = {r.model_name: r for r in reports}
+        assert by_name["tree"].accuracy > by_name["linear"].accuracy
+        assert by_name["tree"].accuracy > by_name["majority"].accuracy
+        # Headline claims: high accuracy, near-optimal throughput.
+        assert by_name["tree"].accuracy > 0.85
+        assert by_name["tree"].mean_normalized_throughput > 0.97
+
+    def test_report_fields_consistent(self, sweep_dataset):
+        report = cross_validate(
+            sweep_dataset, lambda: MajorityBaseline(), folds=5
+        )
+        assert 0 <= report.accuracy <= 1
+        assert report.accuracy <= report.within_one_accuracy <= 1
+        assert (
+            0
+            <= report.worst_normalized_throughput
+            <= report.mean_normalized_throughput
+            <= 1
+        )
+        assert report.folds == 5
+
+    def test_row_rendering(self, sweep_dataset):
+        report = cross_validate(
+            sweep_dataset, lambda: MajorityBaseline(), folds=5, seed=2
+        )
+        row = report.row()
+        assert row[0] == "model"
+        assert all(cell.endswith("%") for cell in row[1:])

@@ -1,0 +1,198 @@
+"""Unit and property tests for the C4.5-style decision tree."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import DatasetError, NotFittedError
+from repro.oracle.decision_tree import DecisionTreeClassifier, pessimistic_error
+
+
+def xor_dataset(n=200, seed=0):
+    """Nonlinearly separable data a linear model cannot fit."""
+    rng = random.Random(seed)
+    X, y = [], []
+    for _ in range(n):
+        a, b = rng.random(), rng.random()
+        X.append([a, b])
+        y.append(1 if (a > 0.5) != (b > 0.5) else 0)
+    return X, y
+
+
+class TestFitPredict:
+    def test_perfectly_separable_data(self):
+        X = [[0.0], [0.1], [0.9], [1.0]]
+        y = [0, 0, 1, 1]
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(X, y)
+        assert tree.predict(X) == y
+        assert tree.predict_one([0.05]) == 0
+        assert tree.predict_one([0.95]) == 1
+
+    def test_xor_learned(self):
+        X, y = xor_dataset()
+        tree = DecisionTreeClassifier().fit(X, y)
+        predictions = tree.predict(X)
+        accuracy = sum(p == t for p, t in zip(predictions, y)) / len(y)
+        assert accuracy > 0.95
+
+    def test_single_class_yields_leaf(self):
+        tree = DecisionTreeClassifier().fit([[1.0], [2.0]], [3, 3])
+        assert tree.node_count() == 1
+        assert tree.predict_one([100.0]) == 3
+
+    def test_constant_features_yield_majority_leaf(self):
+        tree = DecisionTreeClassifier().fit(
+            [[1.0], [1.0], [1.0]], [0, 0, 1]
+        )
+        assert tree.node_count() == 1
+        assert tree.predict_one([1.0]) == 0
+
+    def test_max_depth_respected(self):
+        X, y = xor_dataset(400)
+        tree = DecisionTreeClassifier(max_depth=2, prune=False).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = xor_dataset(100)
+        tree = DecisionTreeClassifier().fit(X, y)
+        proba = tree.predict_proba_one([0.3, 0.7])
+        assert sum(proba.values()) == pytest.approx(1.0)
+        assert set(proba) == {0, 1}
+
+    def test_labels_can_be_arbitrary_ints(self):
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(
+            [[0.0], [1.0]], [17, 42]
+        )
+        assert set(tree.classes) == {17, 42}
+        assert tree.predict_one([0.0]) == 17
+
+
+class TestSampleWeights:
+    def test_weights_shift_majority(self):
+        X = [[0.0], [0.0], [0.0]]
+        y = [0, 0, 1]
+        unweighted = DecisionTreeClassifier().fit(X, y)
+        assert unweighted.predict_one([0.0]) == 0
+        weighted = DecisionTreeClassifier().fit(
+            X, y, sample_weight=[1.0, 1.0, 10.0]
+        )
+        assert weighted.predict_one([0.0]) == 1
+
+    def test_zero_weighted_samples_ignored(self):
+        X = [[0.0], [1.0], [2.0]]
+        y = [0, 0, 1]
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(
+            X, y, sample_weight=[1.0, 0.0, 1.0]
+        )
+        assert tree.predict_one([2.0]) == 1
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit([[0.0]], [1], sample_weight=[-1.0])
+
+
+class TestPruning:
+    def test_pruning_shrinks_noisy_tree(self):
+        rng = random.Random(1)
+        X = [[rng.random()] for _ in range(300)]
+        y = [rng.randint(0, 1) for _ in range(300)]  # pure noise
+        unpruned = DecisionTreeClassifier(prune=False).fit(X, y)
+        pruned = DecisionTreeClassifier(prune=True).fit(X, y)
+        assert pruned.node_count() < unpruned.node_count()
+
+    def test_pruning_keeps_real_structure(self):
+        X = [[0.0], [0.1], [0.9], [1.0]] * 20
+        y = [0, 0, 1, 1] * 20
+        pruned = DecisionTreeClassifier(prune=True).fit(X, y)
+        assert pruned.predict(X[:4]) == [0, 0, 1, 1]
+
+    def test_pessimistic_error_properties(self):
+        # The upper bound exceeds the observed error and decreases with n.
+        assert pessimistic_error(0, 10) > 0.0
+        assert pessimistic_error(0, 100) < pessimistic_error(0, 10)
+        assert pessimistic_error(5, 10) > 0.5
+        assert pessimistic_error(0, 0) == 1.0
+        assert pessimistic_error(10, 10) <= 1.0
+
+
+class TestErrors:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict_one([1.0])
+
+    def test_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier().fit([[1.0]], [1, 2])
+
+    def test_wrong_feature_count_at_predict(self):
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(
+            [[0.0, 1.0], [1.0, 0.0]], [0, 1]
+        )
+        with pytest.raises(DatasetError):
+            tree.predict_one([1.0])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(DatasetError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestRulesDump:
+    def test_rules_renders_feature_names(self):
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(
+            [[0.0], [1.0]], [0, 1]
+        )
+        text = tree.rules(feature_names=["write_ratio"])
+        assert "write_ratio" in text
+        assert "-> 0" in text and "-> 1" in text
+
+
+@st.composite
+def labelled_points(draw):
+    n = draw(st.integers(5, 40))
+    X = [
+        [draw(st.floats(0, 1, allow_nan=False)) for _ in range(2)]
+        for _ in range(n)
+    ]
+    y = [draw(st.integers(0, 3)) for _ in range(n)]
+    return X, y
+
+
+class TestProperties:
+    @given(data=labelled_points())
+    @settings(max_examples=40, deadline=None)
+    def test_predictions_are_seen_labels(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier().fit(X, y)
+        for row in X:
+            assert tree.predict_one(row) in set(y)
+
+    @given(data=labelled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_fit_is_deterministic(self, data):
+        X, y = data
+        a = DecisionTreeClassifier().fit(X, y)
+        b = DecisionTreeClassifier().fit(X, y)
+        grid = [[x / 7.0, 1 - x / 7.0] for x in range(8)]
+        assert a.predict(grid) == b.predict(grid)
+
+    @given(data=labelled_points())
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_at_least_majority(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier().fit(X, y)
+        predictions = tree.predict(X)
+        accuracy = float(np.mean([p == t for p, t in zip(predictions, y)]))
+        majority = max(np.bincount(y)) / len(y)
+        assert accuracy >= majority - 1e-9

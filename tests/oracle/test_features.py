@@ -1,0 +1,48 @@
+"""Tests for the Oracle feature extraction."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.mva import WorkloadPoint
+from repro.oracle.features import FEATURE_NAMES, feature_vector, features_of
+from repro.sds.messages import AggregateStats, ObjectStats
+
+
+class TestFeatureVector:
+    def test_shape_matches_names(self):
+        vector = feature_vector(0.5, 1024)
+        assert len(vector) == len(FEATURE_NAMES)
+
+    def test_write_ratio_passes_through(self):
+        assert feature_vector(0.37, 1024)[0] == 0.37
+
+    def test_size_is_log2(self):
+        assert feature_vector(0.5, 1024)[1] == 10.0
+        assert feature_vector(0.5, 1 << 20)[1] == 20.0
+
+    def test_zero_size_is_safe(self):
+        assert feature_vector(0.5, 0)[1] == 0.0
+        assert not math.isnan(feature_vector(0.5, 0)[1])
+
+
+class TestFeaturesOf:
+    def test_from_object_stats(self):
+        stats = ObjectStats("x", reads=3, writes=1, mean_size=4096.0)
+        vector = features_of(stats)
+        assert vector[0] == 0.25
+        assert vector[1] == 12.0
+
+    def test_from_aggregate_stats(self):
+        stats = AggregateStats(reads=0, writes=10, mean_size=2048.0)
+        vector = features_of(stats)
+        assert vector[0] == 1.0
+        assert vector[1] == 11.0
+
+    def test_from_workload_point(self):
+        vector = features_of(WorkloadPoint(write_ratio=0.5, object_size=1024))
+        assert vector == feature_vector(0.5, 1024)
+
+    def test_idle_stats_yield_zero_ratio(self):
+        stats = AggregateStats(reads=0, writes=0, mean_size=0.0)
+        assert features_of(stats)[0] == 0.0

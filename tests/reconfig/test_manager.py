@@ -1,0 +1,166 @@
+"""Unit/integration tests for the Reconfiguration Manager (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+from repro.reconfig.blocking import attach_blocking_manager
+from repro.reconfig.manager import attach_reconfiguration_manager
+from repro.sds.cluster import SwiftCluster
+from repro.sds.quorum import QuorumPlan
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+
+def workload(num_objects=16):
+    return SyntheticWorkload(
+        WorkloadSpec(
+            write_ratio=0.5, object_size=4096, num_objects=num_objects, name="t"
+        ),
+        seed=3,
+    )
+
+
+@pytest.fixture
+def loaded(tiny_cluster):
+    rm = attach_reconfiguration_manager(tiny_cluster)
+    tiny_cluster.add_clients(workload(), clients_per_proxy=2)
+    tiny_cluster.run(1.0)
+    return tiny_cluster, rm
+
+
+class TestFailureFreePath:
+    def test_two_phase_completes_without_epoch_change(self, loaded):
+        cluster, rm = loaded
+        process = rm.change_global(QuorumConfig(read=1, write=5))
+        cluster.run(1.0)
+        assert process.result.done
+        assert rm.cfg_no == 1
+        assert rm.epoch_no == 0  # no suspicion => no epoch change
+        assert rm.epoch_changes == 0
+        for proxy in cluster.proxies:
+            assert proxy.active_plan().default == QuorumConfig(1, 5)
+            assert not proxy.in_transition
+
+    def test_reconfigurations_serialize(self, loaded):
+        cluster, rm = loaded
+        first = rm.change_global(QuorumConfig(read=1, write=5))
+        second = rm.change_global(QuorumConfig(read=5, write=1))
+        cluster.run(2.0)
+        assert first.result.done and second.result.done
+        assert rm.cfg_no == 2
+        # The final state must be the second request's plan.
+        assert rm.current_plan.default == QuorumConfig(5, 1)
+        for proxy in cluster.proxies:
+            assert proxy.active_plan().default == QuorumConfig(5, 1)
+
+    def test_queued_override_composes_with_earlier_change(self, loaded):
+        """Overrides built lazily at lock-acquisition compose with the
+        preceding reconfiguration instead of clobbering it."""
+        cluster, rm = loaded
+        rm.change_global(QuorumConfig(read=1, write=5))
+        rm.change_overrides({"hot": QuorumConfig(read=5, write=1)})
+        cluster.run(2.0)
+        plan = rm.current_plan
+        assert plan.default == QuorumConfig(1, 5)
+        assert plan.quorum_for("hot") == QuorumConfig(5, 1)
+
+    def test_change_default_keeps_overrides(self, loaded):
+        cluster, rm = loaded
+        rm.change_overrides({"hot": QuorumConfig(read=5, write=1)})
+        rm.change_default(QuorumConfig(read=2, write=4))
+        cluster.run(2.0)
+        assert rm.current_plan.quorum_for("hot") == QuorumConfig(5, 1)
+        assert rm.current_plan.default == QuorumConfig(2, 4)
+
+    def test_non_strict_plan_rejected(self, loaded):
+        _cluster, rm = loaded
+        with pytest.raises(ConfigurationError):
+            rm.change_configuration(
+                QuorumPlan.uniform(QuorumConfig(read=2, write=2))
+            )
+
+    def test_cfg_no_increments_monotonically(self, loaded):
+        cluster, rm = loaded
+        for write in (1, 5, 3):
+            rm.change_global(QuorumConfig.from_write(write, 5))
+        cluster.run(3.0)
+        assert rm.cfg_no == 3
+        assert rm.reconfigurations_completed == 3
+
+
+class TestFailurePath:
+    def test_crashed_proxy_triggers_epoch_change(self, loaded):
+        cluster, rm = loaded
+        cluster.crash_proxy(1)
+        process = rm.change_global(QuorumConfig(read=1, write=5))
+        cluster.run(3.0)
+        assert process.result.done
+        assert rm.epoch_changes == 2  # both phases fence
+        assert rm.epoch_no == 2
+        # All storage nodes adopted the newest epoch.
+        assert {node.epoch_no for node in cluster.storage_nodes} == {2}
+        # The surviving proxy converged.
+        live = [p for p in cluster.proxies if p.alive]
+        assert all(
+            p.active_plan().default == QuorumConfig(1, 5) for p in live
+        )
+
+    def test_progress_after_crash_reconfiguration(self, loaded):
+        cluster, rm = loaded
+        cluster.crash_proxy(1)
+        rm.change_global(QuorumConfig(read=1, write=5))
+        cluster.run(3.0)
+        before = cluster.log.total_operations
+        cluster.run(2.0)
+        assert cluster.log.total_operations > before
+
+    def test_false_suspicion_of_slow_proxy_is_indulgent(self, loaded):
+        cluster, rm = loaded
+        slow = cluster.proxies[0].node_id
+        cluster.network.set_delay_factor(rm.node_id, slow, 10000.0)
+        cluster.detector.falsely_suspect(
+            slow, cluster.sim.now, cluster.sim.now + 3.0
+        )
+        process = rm.change_global(QuorumConfig(read=5, write=1))
+        cluster.run(5.0)
+        assert process.result.done  # liveness despite the false suspicion
+        assert rm.epoch_changes >= 1
+        # The slow-but-alive proxy caught up through NACKs.
+        assert cluster.proxies[0].active_plan().default == QuorumConfig(5, 1)
+        assert sum(node.nacks_sent for node in cluster.storage_nodes) > 0
+
+    def test_reconfiguration_non_blocking_for_clients(self, loaded):
+        """Operations complete *during* the transition — the protocol's
+        headline property."""
+        cluster, rm = loaded
+        before = cluster.log.total_operations
+        rm.change_global(QuorumConfig(read=1, write=5))
+        cluster.run(0.2)  # reconfiguration window
+        during = cluster.log.total_operations - before
+        assert during > 10
+
+
+class TestBlockingBaseline:
+    def test_blocking_manager_installs_plan(self, tiny_cluster):
+        rm = attach_blocking_manager(tiny_cluster)
+        tiny_cluster.add_clients(workload(), clients_per_proxy=2)
+        tiny_cluster.run(1.0)
+        process = rm.change_global(QuorumConfig(read=1, write=5))
+        tiny_cluster.run(1.0)
+        assert process.result.done
+        assert rm.reconfigurations_completed == 1
+        assert rm.total_pause_time > 0
+        for proxy in tiny_cluster.proxies:
+            assert proxy.active_plan().default == QuorumConfig(1, 5)
+
+    def test_blocking_manager_resumes_processing(self, tiny_cluster):
+        rm = attach_blocking_manager(tiny_cluster)
+        tiny_cluster.add_clients(workload(), clients_per_proxy=2)
+        tiny_cluster.run(1.0)
+        rm.change_global(QuorumConfig(read=1, write=5))
+        tiny_cluster.run(1.0)
+        before = tiny_cluster.log.total_operations
+        tiny_cluster.run(1.0)
+        assert tiny_cluster.log.total_operations > before

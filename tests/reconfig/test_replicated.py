@@ -1,0 +1,179 @@
+"""Tests for the fault-tolerant (primary-backup) Reconfiguration Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autonomic.qopt import attach_qopt
+from repro.common.config import (
+    AutonomicConfig,
+    ClusterConfig,
+    StorageConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+from repro.reconfig.replicated import attach_replicated_manager
+from repro.sds.cluster import SwiftCluster
+from repro.sds.consistency import HistoryChecker
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+
+def make_cluster(seed=17):
+    config = ClusterConfig(
+        num_storage_nodes=8,
+        num_proxies=2,
+        clients_per_proxy=4,
+        initial_quorum=QuorumConfig(3, 3),
+        storage=StorageConfig(
+            read_service_time=0.0005,
+            write_service_time=0.0015,
+            replication_interval=0.0,
+        ),
+    )
+    return SwiftCluster(config, seed=seed)
+
+
+def workload():
+    return SyntheticWorkload(
+        WorkloadSpec(
+            write_ratio=0.5, object_size=4096, num_objects=16, name="r"
+        ),
+        seed=3,
+    )
+
+
+class TestNormalOperation:
+    def test_primary_executes_and_replicates_state(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=3)
+        cluster.add_clients(workload(), clients_per_proxy=3)
+        cluster.run(1.0)
+        process = group.primary.change_global(QuorumConfig(1, 5))
+        cluster.run(2.0)
+        assert process.result.done
+        # All members converged on the new state.
+        for member in group.members:
+            assert member.cfg_no == 1
+            assert member.current_plan.default == QuorumConfig(1, 5)
+
+    def test_only_rank_zero_is_primary_initially(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=3)
+        assert group.primary is group.members[0]
+        assert [m.is_primary for m in group.members] == [True, False, False]
+
+    def test_invalid_replica_count(self):
+        cluster = make_cluster()
+        with pytest.raises(ConfigurationError):
+            attach_replicated_manager(cluster, replicas=0)
+
+
+class TestFailover:
+    def test_backup_takes_over_after_idle_primary_crash(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=3)
+        cluster.add_clients(workload(), clients_per_proxy=3)
+        cluster.run(1.0)
+        group.crash_primary()
+        cluster.run(3.0)
+        new_primary = group.primary
+        assert new_primary is group.members[1]
+        assert new_primary.takeovers == 1
+        # Takeover re-installs the current plan; managers keep working.
+        process = new_primary.change_global(QuorumConfig(5, 1))
+        cluster.run(2.0)
+        assert process.result.done
+        for proxy in cluster.proxies:
+            assert proxy.active_plan().default == QuorumConfig(5, 1)
+
+    def test_crash_mid_reconfiguration_completes_the_intent(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=3)
+        checker = HistoryChecker()
+        cluster.add_clients(
+            workload(), clients_per_proxy=3, recorder=checker.record
+        )
+        cluster.run(1.0)
+        primary = group.primary
+        primary.change_global(QuorumConfig(5, 1))
+        # Let the intent reach the backups, then kill the primary before
+        # the reconfiguration can complete.
+        cluster.sim.run(until=cluster.sim.now + 0.001)
+        cluster.crashes.crash(primary.node_id)
+        cluster.run(5.0)
+        new_primary = group.primary
+        assert new_primary is not None
+        assert new_primary.takeovers == 1
+        # The intended plan got installed by the new primary.
+        for proxy in cluster.proxies:
+            assert proxy.active_plan().default == QuorumConfig(5, 1)
+        # Consistency held across the whole failover.
+        checker.assert_consistent()
+
+    def test_cascading_failover_to_third_replica(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=3)
+        cluster.add_clients(workload(), clients_per_proxy=3)
+        cluster.run(1.0)
+        cluster.crashes.crash(group.members[0].node_id)
+        cluster.run(3.0)
+        cluster.crashes.crash(group.members[1].node_id)
+        cluster.run(3.0)
+        assert group.primary is group.members[2]
+        process = group.primary.change_global(QuorumConfig(1, 5))
+        cluster.run(2.0)
+        assert process.result.done
+
+    def test_clients_keep_progressing_through_failover(self):
+        cluster = make_cluster()
+        group = attach_replicated_manager(cluster, replicas=2)
+        cluster.add_clients(workload(), clients_per_proxy=3)
+        cluster.run(1.0)
+        group.primary.change_global(QuorumConfig(1, 5))
+        cluster.sim.run(until=cluster.sim.now + 0.001)
+        group.crash_primary()
+        before = cluster.log.total_operations
+        cluster.run(3.0)
+        assert cluster.log.total_operations > before
+
+
+class TestWithAutonomicManager:
+    def test_qopt_with_replicated_rm_survives_primary_crash(self):
+        cluster = SwiftCluster(
+            ClusterConfig(
+                num_storage_nodes=8,
+                num_proxies=2,
+                clients_per_proxy=4,
+                initial_quorum=QuorumConfig(1, 5),
+                storage=StorageConfig(replication_interval=0.5),
+            ),
+            seed=19,
+        )
+        system = attach_qopt(
+            cluster,
+            autonomic_config=AutonomicConfig(
+                round_duration=1.0, quarantine=0.2, top_k=6
+            ),
+            rm_replicas=3,
+        )
+        assert system.rm_group is not None
+        cluster.add_clients(
+            SyntheticWorkload(
+                WorkloadSpec(
+                    write_ratio=0.99,
+                    object_size=64 * 1024,
+                    num_objects=24,
+                    skew=0.99,
+                ),
+                seed=2,
+            )
+        )
+        cluster.run(3.0)
+        system.rm_group.crash_primary()
+        cluster.run(10.0)
+        manager = system.autonomic_manager
+        # Tuning continued after the RM failover.
+        assert manager.fine_reconfigurations >= 1
+        assert manager.installed_overrides
+        assert system.rm_group.primary is not None
+        assert system.rm_group.primary.is_primary

@@ -1,0 +1,151 @@
+"""Unit and property tests for quorum plans and configuration history."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+from repro.sds.quorum import ConfigurationHistory, QuorumPlan
+
+N = 5
+
+quorum_strategy = st.integers(1, N).map(
+    lambda w: QuorumConfig.from_write(w, N)
+)
+plan_strategy = st.builds(
+    QuorumPlan,
+    default=quorum_strategy,
+    overrides=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]), quorum_strategy, max_size=4
+    ),
+)
+
+
+class TestQuorumPlan:
+    def test_default_applies_without_override(self):
+        plan = QuorumPlan.uniform(QuorumConfig(3, 3))
+        assert plan.quorum_for("anything") == QuorumConfig(3, 3)
+
+    def test_override_wins(self):
+        plan = QuorumPlan(
+            default=QuorumConfig(3, 3),
+            overrides={"hot": QuorumConfig(1, 5)},
+        )
+        assert plan.quorum_for("hot") == QuorumConfig(1, 5)
+        assert plan.quorum_for("cold") == QuorumConfig(3, 3)
+
+    def test_with_overrides_is_non_destructive(self):
+        plan = QuorumPlan.uniform(QuorumConfig(3, 3))
+        updated = plan.with_overrides({"x": QuorumConfig(5, 1)})
+        assert plan.quorum_for("x") == QuorumConfig(3, 3)
+        assert updated.quorum_for("x") == QuorumConfig(5, 1)
+
+    def test_with_default_keeps_overrides(self):
+        plan = QuorumPlan(
+            default=QuorumConfig(3, 3),
+            overrides={"x": QuorumConfig(5, 1)},
+        )
+        updated = plan.with_default(QuorumConfig(1, 5))
+        assert updated.quorum_for("x") == QuorumConfig(5, 1)
+        assert updated.quorum_for("y") == QuorumConfig(1, 5)
+
+    def test_max_read_write_span_overrides(self):
+        plan = QuorumPlan(
+            default=QuorumConfig(3, 3),
+            overrides={"x": QuorumConfig(5, 1), "y": QuorumConfig(1, 5)},
+        )
+        assert plan.max_read == 5
+        assert plan.max_write == 5
+
+    def test_validate_rejects_non_strict_override(self):
+        plan = QuorumPlan(
+            default=QuorumConfig(3, 3),
+            overrides={"x": QuorumConfig(2, 2)},
+        )
+        with pytest.raises(ConfigurationError, match="override"):
+            plan.validate_strict(N)
+
+    @given(old=plan_strategy, new=plan_strategy)
+    def test_transition_plan_intersects_both_per_object(self, old, new):
+        """Per-object generalization of the Algorithm 3 transition rule."""
+        transition = old.transition_with(new)
+        objects = ["a", "b", "c", "d", "never-overridden"]
+        for object_id in objects:
+            t = transition.quorum_for(object_id)
+            for other_plan in (old, new):
+                o = other_plan.quorum_for(object_id)
+                assert t.read + o.write > N
+                assert t.write + o.read > N
+
+    @given(old=plan_strategy, new=plan_strategy)
+    def test_transition_plan_still_strict(self, old, new):
+        transition = old.transition_with(new)
+        transition.validate_strict(N)
+
+
+class TestConfigurationHistory:
+    def test_records_and_queries(self):
+        history = ConfigurationHistory()
+        history.record(0, QuorumPlan.uniform(QuorumConfig(3, 3)))
+        history.record(1, QuorumPlan.uniform(QuorumConfig(1, 5)))
+        history.record(2, QuorumPlan.uniform(QuorumConfig(5, 1)))
+        assert history.max_read_quorum("x", 0, 2) == 5
+        assert history.max_read_quorum("x", 0, 1) == 3
+        assert history.max_read_quorum("x", 1, 1) == 1
+
+    def test_query_respects_overrides(self):
+        history = ConfigurationHistory()
+        history.record(
+            0,
+            QuorumPlan(
+                default=QuorumConfig(3, 3),
+                overrides={"hot": QuorumConfig(5, 1)},
+            ),
+        )
+        assert history.max_read_quorum("hot", 0, 0) == 5
+        assert history.max_read_quorum("cold", 0, 0) == 3
+
+    def test_empty_range_returns_zero(self):
+        history = ConfigurationHistory()
+        history.record(3, QuorumPlan.uniform(QuorumConfig(3, 3)))
+        assert history.max_read_quorum("x", 0, 2) == 0
+
+    def test_stale_redelivery_ignored(self):
+        history = ConfigurationHistory()
+        history.record(1, QuorumPlan.uniform(QuorumConfig(3, 3)))
+        history.record(1, QuorumPlan.uniform(QuorumConfig(5, 1)))
+        assert len(history) == 1
+        assert history.max_read_quorum("x", 1, 1) == 3
+
+    def test_latest(self):
+        history = ConfigurationHistory()
+        assert history.latest() is None
+        history.record(0, QuorumPlan.uniform(QuorumConfig(3, 3)))
+        history.record(4, QuorumPlan.uniform(QuorumConfig(1, 5)))
+        latest = history.latest()
+        assert latest.cfg_no == 4
+        assert latest.plan.default == QuorumConfig(1, 5)
+
+    @given(
+        configs=st.lists(st.integers(1, N), min_size=1, max_size=8),
+        since=st.integers(0, 7),
+        until=st.integers(0, 7),
+    )
+    def test_max_read_quorum_matches_naive_scan(self, configs, since, until):
+        history = ConfigurationHistory()
+        plans = {}
+        for cfg_no, write in enumerate(configs):
+            plan = QuorumPlan.uniform(QuorumConfig.from_write(write, N))
+            history.record(cfg_no, plan)
+            plans[cfg_no] = plan
+        expected = max(
+            (
+                plan.quorum_for("x").read
+                for cfg_no, plan in plans.items()
+                if since <= cfg_no <= until
+            ),
+            default=0,
+        )
+        assert history.max_read_quorum("x", since, until) == expected

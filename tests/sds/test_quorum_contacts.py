@@ -1,0 +1,140 @@
+"""Invariants on how many replicas operations actually contact.
+
+Section 2.1: reads are forwarded to R replicas and writes to W replicas;
+only when replies are missing (failures) does the proxy fall back to the
+remaining replicas.  These tests measure the storage tier's request
+counters to confirm the fan-out matches the installed configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    ClusterConfig,
+    NetworkConfig,
+    StorageConfig,
+)
+from repro.common.types import QuorumConfig
+from repro.sds.cluster import SwiftCluster
+from repro.workloads.generator import SyntheticWorkload, WorkloadSpec
+
+
+def build(read: int, write: int, seed: int = 1) -> SwiftCluster:
+    config = ClusterConfig(
+        num_storage_nodes=6,
+        num_proxies=1,
+        clients_per_proxy=4,
+        replication_degree=5,
+        initial_quorum=QuorumConfig(read=read, write=write),
+        storage=StorageConfig(
+            read_miss_ratio=0.0, replication_interval=0.0
+        ),
+        network=NetworkConfig(jitter_fraction=0.0),
+    )
+    return SwiftCluster(config, seed=seed)
+
+
+def run_mix(cluster: SwiftCluster, write_ratio: float, duration=3.0):
+    cluster.add_clients(
+        SyntheticWorkload(
+            WorkloadSpec(
+                write_ratio=write_ratio,
+                object_size=1024,
+                num_objects=16,
+                name="q",
+            ),
+            seed=2,
+        ),
+        clients_per_proxy=4,
+    )
+    cluster.run(duration)
+
+
+@pytest.mark.parametrize("write_quorum", [1, 3, 5])
+def test_writes_contact_exactly_w_replicas(write_quorum):
+    cluster = build(read=6 - write_quorum, write=write_quorum)
+    run_mix(cluster, write_ratio=1.0)
+    total_writes = cluster.log.total_operations
+    replica_writes = sum(
+        node.writes_served + node.writes_discarded
+        for node in cluster.storage_nodes
+    )
+    # Allow a small margin for in-flight operations at simulation end.
+    assert replica_writes == pytest.approx(
+        total_writes * write_quorum, rel=0.05
+    )
+
+
+@pytest.mark.parametrize("read_quorum", [1, 3, 5])
+def test_reads_contact_exactly_r_replicas(read_quorum):
+    cluster = build(read=read_quorum, write=6 - read_quorum)
+    run_mix(cluster, write_ratio=0.0)
+    total_reads = cluster.log.total_operations
+    replica_reads = sum(node.reads_served for node in cluster.storage_nodes)
+    assert replica_reads == pytest.approx(
+        total_reads * read_quorum, rel=0.05
+    )
+
+
+def test_fallback_contacts_remaining_replicas_on_crash():
+    cluster = build(read=3, write=3)
+    workload = SyntheticWorkload(
+        WorkloadSpec(
+            write_ratio=0.0, object_size=1024, num_objects=1, name="q"
+        ),
+        seed=2,
+    )
+    cluster.add_clients(workload, clients_per_proxy=1)
+    cluster.run(1.0)
+    # Crash two replicas of the single object: the preferred 3-replica
+    # quorum may now be incomplete, forcing the fallback broadcast.
+    object_id = workload.object_ids()[0]
+    replicas = cluster.ring.replicas(object_id)
+    for node in cluster.storage_nodes:
+        if node.node_id in replicas[:2]:
+            cluster.crashes.crash(node.node_id)
+    before = cluster.log.total_operations
+    cluster.run(4.0)
+    assert cluster.log.total_operations > before
+    # Live replicas outside the preferred quorum served reads.
+    live_served = [
+        node.reads_served
+        for node in cluster.storage_nodes
+        if node.alive and node.node_id in replicas
+    ]
+    assert sum(1 for count in live_served if count > 0) >= 3
+
+
+def test_per_object_override_changes_contact_counts():
+    from repro.reconfig.manager import attach_reconfiguration_manager
+
+    cluster = build(read=3, write=3)
+    rm = attach_reconfiguration_manager(cluster)
+    workload = SyntheticWorkload(
+        WorkloadSpec(
+            write_ratio=1.0, object_size=1024, num_objects=1, name="q"
+        ),
+        seed=2,
+    )
+    cluster.add_clients(workload, clients_per_proxy=2)
+    cluster.run(1.0)
+    object_id = workload.object_ids()[0]
+    rm.change_overrides({object_id: QuorumConfig(read=5, write=1)})
+    cluster.run(0.5)
+    # Measure fan-out over a clean window after the reconfiguration.
+    writes_before = sum(
+        node.writes_served + node.writes_discarded
+        for node in cluster.storage_nodes
+    )
+    ops_before = cluster.log.total_operations
+    cluster.run(3.0)
+    writes_delta = (
+        sum(
+            node.writes_served + node.writes_discarded
+            for node in cluster.storage_nodes
+        )
+        - writes_before
+    )
+    ops_delta = cluster.log.total_operations - ops_before
+    assert writes_delta == pytest.approx(ops_delta * 1, rel=0.1)

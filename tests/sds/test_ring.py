@@ -1,0 +1,167 @@
+"""Unit and property tests for the placement ring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import NodeId
+from repro.sds.ring import PlacementRing
+
+NODES = [NodeId.storage(i) for i in range(10)]
+
+
+@pytest.fixture
+def ring() -> PlacementRing:
+    return PlacementRing(NODES, replication_degree=5)
+
+
+class TestReplicaSelection:
+    def test_replica_count_and_distinctness(self, ring):
+        replicas = ring.replicas("some-object")
+        assert len(replicas) == 5
+        assert len(set(replicas)) == 5
+
+    def test_placement_is_deterministic(self, ring):
+        other = PlacementRing(NODES, replication_degree=5)
+        for index in range(50):
+            object_id = f"obj-{index}"
+            assert ring.replicas(object_id) == other.replicas(object_id)
+
+    def test_different_objects_spread_over_nodes(self, ring):
+        object_ids = [f"obj-{i}" for i in range(500)]
+        counts = ring.load_distribution(object_ids)
+        assert set(counts) == set(NODES)
+        # Every node should carry a meaningful share of replicas.
+        assert min(counts.values()) > 0
+        total = sum(counts.values())
+        assert total == 500 * 5
+        expected = total / len(NODES)
+        for count in counts.values():
+            assert count == pytest.approx(expected, rel=0.5)
+
+    @given(object_id=st.text(min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_replicas_always_distinct(self, object_id):
+        ring = PlacementRing(NODES, replication_degree=5)
+        replicas = ring.replicas(object_id)
+        assert len(set(replicas)) == 5
+
+
+class TestPreferredOrder:
+    def test_rotation_preserves_replica_set(self, ring):
+        base = set(ring.replicas("obj"))
+        for proxy_seed in range(7):
+            assert set(ring.preferred_order("obj", proxy_seed)) == base
+
+    def test_different_proxies_get_different_orders(self, ring):
+        orders = {
+            tuple(ring.preferred_order("obj", seed)) for seed in range(5)
+        }
+        assert len(orders) == 5  # 5 distinct rotations of a 5-element list
+
+
+class TestValidation:
+    def test_degree_above_node_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementRing(NODES[:3], replication_degree=5)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementRing([NODES[0], NODES[0]], replication_degree=1)
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementRing(NODES, replication_degree=0)
+
+    def test_zero_vnodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlacementRing(NODES, replication_degree=3, vnodes=0)
+
+    def test_full_replication_uses_all_nodes(self):
+        ring = PlacementRing(NODES[:5], replication_degree=5)
+        assert set(ring.replicas("x")) == set(NODES[:5])
+
+
+class TestWeights:
+    def test_heavier_nodes_take_more_replicas(self):
+        weights = {NODES[0]: 4.0}
+        ring = PlacementRing(
+            NODES, replication_degree=3, weights=weights
+        )
+        counts = ring.load_distribution([f"obj-{i}" for i in range(600)])
+        average_other = sum(
+            counts[node] for node in NODES[1:]
+        ) / (len(NODES) - 1)
+        assert counts[NODES[0]] > 1.5 * average_other
+
+    def test_invalid_weights_rejected(self):
+        from repro.common.types import NodeId as _NodeId
+
+        with pytest.raises(ConfigurationError):
+            PlacementRing(
+                NODES, replication_degree=3, weights={NODES[0]: 0.0}
+            )
+        with pytest.raises(ConfigurationError):
+            PlacementRing(
+                NODES,
+                replication_degree=3,
+                weights={_NodeId.storage(99): 1.0},
+            )
+
+
+class TestZones:
+    def _zones(self, zone_count):
+        return {
+            node: f"z{index % zone_count}"
+            for index, node in enumerate(NODES)
+        }
+
+    def test_replicas_spread_across_zones(self):
+        ring = PlacementRing(
+            NODES, replication_degree=5, zones=self._zones(5)
+        )
+        for index in range(100):
+            replicas = ring.replicas(f"obj-{index}")
+            zones = {ring.zone_of(node) for node in replicas}
+            assert len(zones) == 5  # one replica per zone
+
+    def test_fewer_zones_than_replicas_still_distinct_nodes(self):
+        ring = PlacementRing(
+            NODES, replication_degree=5, zones=self._zones(2)
+        )
+        for index in range(50):
+            replicas = ring.replicas(f"obj-{index}")
+            assert len(set(replicas)) == 5
+            zones = {ring.zone_of(node) for node in replicas}
+            assert len(zones) == 2  # both zones used
+
+    def test_zone_outage_leaves_majority_with_enough_zones(self):
+        ring = PlacementRing(
+            NODES, replication_degree=5, zones=self._zones(5)
+        )
+        # Killing any single zone removes exactly one replica per object.
+        for index in range(50):
+            replicas = ring.replicas(f"obj-{index}")
+            for dead_zone in {f"z{z}" for z in range(5)}:
+                survivors = [
+                    node
+                    for node in replicas
+                    if ring.zone_of(node) != dead_zone
+                ]
+                assert len(survivors) == 4
+
+    def test_unknown_zone_node_rejected(self):
+        from repro.common.types import NodeId as _NodeId
+
+        with pytest.raises(ConfigurationError):
+            PlacementRing(
+                NODES,
+                replication_degree=3,
+                zones={_NodeId.storage(99): "z0"},
+            )
+
+    def test_zone_of_defaults_to_empty(self):
+        ring = PlacementRing(NODES, replication_degree=3)
+        assert ring.zone_of(NODES[0]) == ""

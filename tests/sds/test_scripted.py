@@ -1,0 +1,117 @@
+"""Tests for the scripted client API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig
+from repro.reconfig.manager import attach_reconfiguration_manager
+from repro.sds.scripted import ScriptedClient, read_value
+from repro.sim.primitives import all_of
+
+
+class TestScriptedClient:
+    def test_put_then_get_round_trip(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield client.put("doc-1", b"hello")
+            version = yield client.get("doc-1")
+            return version
+
+        version = tiny_cluster.sim.run_process(scenario())
+        assert version.value == b"hello"
+        assert version.size == 5
+
+    def test_get_of_unknown_object_returns_missing(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            version = yield client.get("never-written")
+            return version
+
+        version = tiny_cluster.sim.run_process(scenario())
+        assert version.value is None
+
+    def test_overwrite_returns_latest(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield client.put("doc", b"v1")
+            yield client.put("doc", b"v2")
+            version = yield client.get("doc")
+            return version
+
+        assert tiny_cluster.sim.run_process(scenario()).value == b"v2"
+
+    def test_two_clients_see_each_others_writes(self, tiny_cluster):
+        writer = ScriptedClient(tiny_cluster, proxy_index=0)
+        reader = ScriptedClient(tiny_cluster, proxy_index=1)
+
+        def scenario():
+            yield writer.put("shared", b"from-proxy-0")
+            version = yield reader.get("shared")
+            return version
+
+        version = tiny_cluster.sim.run_process(scenario())
+        assert version.value == b"from-proxy-0"
+
+    def test_concurrent_operations_gather(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield all_of(
+                tiny_cluster.sim,
+                [client.put(f"k{i}", f"v{i}".encode()) for i in range(8)],
+            )
+            versions = yield all_of(
+                tiny_cluster.sim, [client.get(f"k{i}") for i in range(8)]
+            )
+            return versions
+
+        versions = tiny_cluster.sim.run_process(scenario())
+        assert [v.value for v in versions] == [
+            f"v{i}".encode() for i in range(8)
+        ]
+
+    def test_reads_span_reconfigurations(self, tiny_cluster):
+        rm = attach_reconfiguration_manager(tiny_cluster)
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield client.put("doc", b"before")
+            yield rm.change_global(QuorumConfig(read=1, write=5))
+            first = yield client.get("doc")
+            yield client.put("doc", b"after")
+            yield rm.change_global(QuorumConfig(read=5, write=1))
+            second = yield client.get("doc")
+            return first, second
+
+        first, second = tiny_cluster.sim.run_process(scenario())
+        assert first.value == b"before"
+        assert second.value == b"after"
+
+    def test_explicit_size_overrides_payload_length(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield client.put("big", b"tiny-token", size=1 << 20)
+            version = yield client.get("big")
+            return version
+
+        version = tiny_cluster.sim.run_process(scenario())
+        assert version.size == 1 << 20
+
+    def test_invalid_proxy_index(self, tiny_cluster):
+        with pytest.raises(ConfigurationError):
+            ScriptedClient(tiny_cluster, proxy_index=99)
+
+    def test_read_value_helper(self, tiny_cluster):
+        client = ScriptedClient(tiny_cluster)
+
+        def scenario():
+            yield client.put("x", b"y")
+
+        tiny_cluster.sim.run_process(scenario())
+        assert read_value(tiny_cluster, "x").value == b"y"

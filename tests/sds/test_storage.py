@@ -1,0 +1,227 @@
+"""Unit tests for the storage node (Algorithm 6 + service model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.config import StorageConfig
+from repro.common.types import NodeId, QuorumConfig, Version, VersionStamp
+from repro.sds.messages import (
+    AckNewEpoch,
+    EpochNack,
+    NewEpoch,
+    ReplicaRead,
+    ReplicaReadReply,
+    ReplicaSync,
+    ReplicaWrite,
+    ReplicaWriteReply,
+)
+from repro.sds.quorum import QuorumPlan
+from repro.sds.storage import StorageNode
+from repro.sim.node import Node
+
+STORAGE = NodeId.storage(0)
+PROXY = NodeId.proxy(0)
+PLAN = QuorumPlan.uniform(QuorumConfig(3, 3))
+
+
+class ProbeProxy(Node):
+    """Captures every reply a storage node sends back."""
+
+    def __init__(self, sim, network):
+        super().__init__(sim, network, PROXY)
+        self.read_replies: list[ReplicaReadReply] = []
+        self.write_replies: list[ReplicaWriteReply] = []
+        self.nacks: list[EpochNack] = []
+        self.epoch_acks: list[AckNewEpoch] = []
+        self.register_handler(
+            ReplicaReadReply, lambda e: self.read_replies.append(e.payload)
+        )
+        self.register_handler(
+            ReplicaWriteReply, lambda e: self.write_replies.append(e.payload)
+        )
+        self.register_handler(
+            EpochNack, lambda e: self.nacks.append(e.payload)
+        )
+        self.register_handler(
+            AckNewEpoch, lambda e: self.epoch_acks.append(e.payload)
+        )
+
+
+@pytest.fixture
+def storage(sim, network):
+    node = StorageNode(
+        sim,
+        network,
+        STORAGE,
+        config=StorageConfig(replication_interval=0.0),
+        initial_plan=PLAN,
+        rng=random.Random(0),
+    )
+    node.start()
+    return node
+
+
+@pytest.fixture
+def probe(sim, network):
+    node = ProbeProxy(sim, network)
+    node.start()
+    return node
+
+
+def write_message(op_id=1, stamp_time=1.0, value=b"v1", epoch=0, cfg=0):
+    return ReplicaWrite(
+        object_id="obj",
+        value=value,
+        size=len(value),
+        stamp=VersionStamp(stamp_time, "proxy-0"),
+        epoch_no=epoch,
+        cfg_no=cfg,
+        op_id=op_id,
+    )
+
+
+class TestWrites:
+    def test_write_stores_version(self, sim, storage, probe):
+        probe.send(STORAGE, write_message())
+        sim.run()
+        version = storage.version_of("obj")
+        assert version.value == b"v1"
+        assert probe.write_replies[0].op_id == 1
+        assert storage.writes_served == 1
+
+    def test_older_write_discarded_but_acked(self, sim, storage, probe):
+        probe.send(STORAGE, write_message(op_id=1, stamp_time=5.0, value=b"new"))
+        sim.run()
+        probe.send(STORAGE, write_message(op_id=2, stamp_time=1.0, value=b"old"))
+        sim.run()
+        assert storage.version_of("obj").value == b"new"
+        assert len(probe.write_replies) == 2  # both acked
+        assert storage.writes_discarded == 1
+
+    def test_equal_stamp_rewrite_updates_cfg_no(self, sim, storage, probe):
+        """The read-repair write-back re-applies the same (value, stamp)
+        under a newer configuration number (Algorithm 4 line 27)."""
+        probe.send(STORAGE, write_message(op_id=1, stamp_time=2.0, cfg=0))
+        sim.run()
+        probe.send(STORAGE, write_message(op_id=2, stamp_time=2.0, cfg=3))
+        sim.run()
+        assert storage.version_of("obj").cfg_no == 3
+
+    def test_write_records_proxy_cfg_no(self, sim, storage, probe):
+        probe.send(STORAGE, write_message(cfg=7))
+        sim.run()
+        assert storage.version_of("obj").cfg_no == 7
+
+
+class TestReads:
+    def test_read_returns_missing_version_for_unknown_object(
+        self, sim, storage, probe
+    ):
+        probe.send(STORAGE, ReplicaRead(object_id="nope", epoch_no=0, op_id=9))
+        sim.run()
+        reply = probe.read_replies[0]
+        assert reply.version.value is None
+        assert reply.op_id == 9
+
+    def test_read_returns_stored_version(self, sim, storage, probe):
+        probe.send(STORAGE, write_message())
+        sim.run()
+        probe.send(STORAGE, ReplicaRead(object_id="obj", epoch_no=0, op_id=2))
+        sim.run()
+        assert probe.read_replies[0].version.value == b"v1"
+        assert storage.reads_served == 1
+
+
+class TestEpochs:
+    def test_new_epoch_adopted_and_acked(self, sim, storage, probe):
+        probe.send(STORAGE, NewEpoch(epoch_no=3, cfg_no=2, plan=PLAN))
+        sim.run()
+        assert storage.epoch_no == 3
+        assert storage.cfg_no == 2
+        assert probe.epoch_acks[0].epoch_no == 3
+
+    def test_old_epoch_message_ignored_silently(self, sim, storage, probe):
+        probe.send(STORAGE, NewEpoch(epoch_no=3, cfg_no=2, plan=PLAN))
+        probe.send(STORAGE, NewEpoch(epoch_no=1, cfg_no=1, plan=PLAN))
+        sim.run()
+        assert storage.epoch_no == 3
+        assert len(probe.epoch_acks) == 1
+
+    def test_stale_write_nacked(self, sim, storage, probe):
+        probe.send(STORAGE, NewEpoch(epoch_no=2, cfg_no=1, plan=PLAN))
+        probe.send(STORAGE, write_message(op_id=5, epoch=0))
+        sim.run()
+        assert storage.version_of("obj").value is None
+        nack = probe.nacks[0]
+        assert nack.epoch_no == 2
+        assert nack.cfg_no == 1
+        assert nack.op_id == 5
+        assert storage.nacks_sent == 1
+
+    def test_stale_read_nacked(self, sim, storage, probe):
+        probe.send(STORAGE, NewEpoch(epoch_no=2, cfg_no=1, plan=PLAN))
+        probe.send(STORAGE, ReplicaRead(object_id="obj", epoch_no=1, op_id=6))
+        sim.run()
+        assert probe.read_replies == []
+        assert probe.nacks[0].op_id == 6
+
+    def test_current_epoch_write_accepted_after_change(
+        self, sim, storage, probe
+    ):
+        probe.send(STORAGE, NewEpoch(epoch_no=2, cfg_no=1, plan=PLAN))
+        probe.send(STORAGE, write_message(op_id=7, epoch=2))
+        sim.run()
+        assert storage.version_of("obj").value == b"v1"
+
+
+class TestSync:
+    def test_sync_applies_newer_version(self, sim, storage, probe):
+        version = Version(
+            value=b"synced", stamp=VersionStamp(9.0, "p"), cfg_no=0, size=6
+        )
+        probe.send(STORAGE, ReplicaSync(object_id="obj", version=version))
+        sim.run()
+        assert storage.version_of("obj").value == b"synced"
+        assert storage.syncs_applied == 1
+
+    def test_sync_with_older_version_ignored(self, sim, storage, probe):
+        probe.send(STORAGE, write_message(stamp_time=5.0, value=b"fresh"))
+        sim.run()
+        old = Version(
+            value=b"stale", stamp=VersionStamp(1.0, "p"), cfg_no=0, size=5
+        )
+        probe.send(STORAGE, ReplicaSync(object_id="obj", version=old))
+        sim.run()
+        assert storage.version_of("obj").value == b"fresh"
+        assert storage.syncs_applied == 0
+
+
+class TestServiceModel:
+    def test_write_slower_than_read(self, sim, network):
+        node = StorageNode(
+            sim,
+            network,
+            NodeId.storage(5),
+            config=StorageConfig(
+                read_miss_ratio=0.0, replication_interval=0.0
+            ),
+            initial_plan=PLAN,
+            rng=random.Random(0),
+        )
+        node.start()
+        probe = ProbeProxy(sim, network)
+        probe.start()
+        probe.send(node.node_id, write_message())
+        sim.run()
+        write_done = sim.now
+
+        probe.send(
+            node.node_id, ReplicaRead(object_id="obj", epoch_no=0, op_id=2)
+        )
+        start = sim.now
+        sim.run()
+        read_duration = sim.now - start
+        assert write_done > read_duration

@@ -1,0 +1,96 @@
+"""Unit tests for crash injection and the failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.types import NodeId
+from repro.sim.failure import CrashManager, FailureDetector
+from repro.sim.network import Network
+
+P = NodeId.proxy(0)
+Q = NodeId.proxy(1)
+
+
+@pytest.fixture
+def crashes(sim, network):
+    network.register(P)
+    network.register(Q)
+    return CrashManager(sim, network)
+
+
+class TestCrashManager:
+    def test_crash_is_recorded(self, sim, crashes):
+        crashes.crash(P)
+        assert crashes.is_crashed(P)
+        assert crashes.crash_time(P) == sim.now
+        assert P in crashes.crashed_nodes
+
+    def test_crash_is_idempotent(self, sim, crashes):
+        crashes.crash(P)
+        first_time = crashes.crash_time(P)
+        sim.run(until=1.0)
+        crashes.crash(P)
+        assert crashes.crash_time(P) == first_time
+
+    def test_crash_at_schedules(self, sim, crashes):
+        crashes.crash_at(P, 2.5)
+        sim.run(until=2.0)
+        assert not crashes.is_crashed(P)
+        sim.run(until=3.0)
+        assert crashes.is_crashed(P)
+        assert crashes.crash_time(P) == pytest.approx(2.5)
+
+    def test_crash_in_past_rejected(self, sim, crashes):
+        sim.run(until=1.0)
+        with pytest.raises(SimulationError):
+            crashes.crash_at(P, 0.5)
+
+    def test_callbacks_invoked(self, sim, crashes):
+        seen = []
+        crashes.on_crash(seen.append)
+        crashes.crash(P)
+        assert seen == [P]
+
+    def test_crash_silences_network(self, sim, network, crashes):
+        crashes.crash(P)
+        assert network.is_crashed(P)
+
+
+class TestFailureDetector:
+    def test_live_node_not_suspected(self, sim, crashes):
+        detector = FailureDetector(sim, crashes, detection_delay=0.5)
+        assert not detector.suspect(P)
+
+    def test_crashed_node_suspected_after_delay(self, sim, crashes):
+        detector = FailureDetector(sim, crashes, detection_delay=0.5)
+        crashes.crash(P)
+        assert not detector.suspect(P)  # strong completeness, not instant
+        sim.run(until=0.6)
+        assert detector.suspect(P)
+
+    def test_zero_delay_detection(self, sim, crashes):
+        detector = FailureDetector(sim, crashes, detection_delay=0.0)
+        crashes.crash(P)
+        assert detector.suspect(P)
+
+    def test_false_suspicion_window(self, sim, crashes):
+        detector = FailureDetector(sim, crashes)
+        detector.falsely_suspect(P, start=1.0, end=2.0)
+        assert not detector.suspect(P)
+        sim.run(until=1.5)
+        assert detector.suspect(P)
+        assert not detector.suspect(Q)
+        sim.run(until=2.5)
+        # Eventual strong accuracy: the lie stops.
+        assert not detector.suspect(P)
+
+    def test_empty_window_rejected(self, sim, crashes):
+        detector = FailureDetector(sim, crashes)
+        with pytest.raises(SimulationError):
+            detector.falsely_suspect(P, start=2.0, end=1.0)
+
+    def test_negative_delay_rejected(self, sim, crashes):
+        with pytest.raises(SimulationError):
+            FailureDetector(sim, crashes, detection_delay=-1.0)

@@ -1,0 +1,240 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DeadlockError, SimulationError
+from repro.sim.kernel import Future, Interrupt, Simulator
+
+
+class TestFuture:
+    def test_starts_pending(self, sim):
+        future = sim.future()
+        assert not future.done
+
+    def test_resolve_sets_value(self, sim):
+        future = sim.future()
+        future.resolve(42)
+        assert future.done
+        assert future.value == 42
+
+    def test_value_before_resolution_raises(self, sim):
+        future = sim.future()
+        with pytest.raises(SimulationError):
+            _ = future.value
+
+    def test_double_resolution_raises(self, sim):
+        future = sim.future()
+        future.resolve(1)
+        with pytest.raises(SimulationError):
+            future.resolve(2)
+
+    def test_fail_raises_on_value_access(self, sim):
+        future = sim.future()
+        future.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            _ = future.value
+
+    def test_callback_after_completion_fires_immediately(self, sim):
+        future = sim.future()
+        future.resolve("x")
+        seen = []
+        future.add_callback(lambda f: seen.append(f._value))
+        assert seen == ["x"]
+
+    def test_callbacks_fire_in_registration_order(self, sim):
+        future = sim.future()
+        seen = []
+        future.add_callback(lambda f: seen.append(1))
+        future.add_callback(lambda f: seen.append(2))
+        future.resolve(None)
+        assert seen == [1, 2]
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        seen = []
+        sim.schedule(0.2, seen.append, "late")
+        sim.schedule(0.1, seen.append, "early")
+        sim.run()
+        assert seen == ["early", "late"]
+        assert sim.now == pytest.approx(0.2)
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        seen = []
+        for index in range(10):
+            sim.schedule(0.5, seen.append, index)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_run_until_advances_time_even_when_queue_drains(self, sim):
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_does_not_execute_later_events(self, sim):
+        seen = []
+        sim.schedule(1.0, seen.append, "in")
+        sim.schedule(3.0, seen.append, "out")
+        sim.run(until=2.0)
+        assert seen == ["in"]
+        sim.run(until=4.0)
+        assert seen == ["in", "out"]
+
+    def test_run_until_past_is_rejected(self, sim):
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+
+class TestProcesses:
+    def test_process_returns_value(self, sim):
+        def body():
+            yield sim.sleep(0.1)
+            return "done"
+
+        assert sim.run_process(body()) == "done"
+        assert sim.now == pytest.approx(0.1)
+
+    def test_sleep_durations_accumulate(self, sim):
+        def body():
+            yield sim.sleep(0.5)
+            yield sim.sleep(0.25)
+            return sim.now
+
+        assert sim.run_process(body()) == pytest.approx(0.75)
+
+    def test_timeout_resolves_with_value(self, sim):
+        def body():
+            value = yield sim.timeout(0.1, "payload")
+            return value
+
+        assert sim.run_process(body()) == "payload"
+
+    def test_yielding_a_process_joins_it(self, sim):
+        def child():
+            yield sim.sleep(0.3)
+            return 7
+
+        def parent():
+            result = yield sim.spawn(child())
+            return result
+
+        assert sim.run_process(parent()) == 7
+
+    def test_exception_propagates_to_joiner(self, sim):
+        def child():
+            yield sim.sleep(0.1)
+            raise RuntimeError("child failed")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert sim.run_process(parent()) == "child failed"
+
+    def test_failed_future_throws_into_process(self, sim):
+        future = sim.future()
+        sim.schedule(0.1, future.fail, ValueError("nope"))
+
+        def body():
+            try:
+                yield future
+            except ValueError:
+                return "caught"
+
+        assert sim.run_process(body()) == "caught"
+
+    def test_run_process_propagates_exception(self, sim):
+        def body():
+            yield sim.sleep(0.1)
+            raise KeyError("direct")
+
+        with pytest.raises(KeyError):
+            sim.run_process(body())
+
+    def test_unhandled_crash_in_fire_and_forget_process_is_reported(
+        self, sim
+    ):
+        def body():
+            yield sim.sleep(0.1)
+            raise RuntimeError("unwatched")
+
+        sim.spawn(body())
+        with pytest.raises(SimulationError, match="unhandled exception"):
+            sim.run()
+
+    def test_deadlock_detection(self, sim):
+        def body():
+            yield sim.future()  # never resolved
+
+        with pytest.raises(DeadlockError):
+            sim.run_process(body())
+
+    def test_interrupt_raises_at_wait_point(self, sim):
+        def body():
+            try:
+                yield sim.sleep(10.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause)
+
+        process = sim.spawn(body())
+        sim.schedule(0.5, process.interrupt, "reason")
+        sim.run()
+        assert process.result.value == ("interrupted", "reason")
+
+    def test_kill_terminates_silently(self, sim):
+        progressed = []
+
+        def body():
+            yield sim.sleep(1.0)
+            progressed.append(True)
+
+        process = sim.spawn(body())
+        sim.schedule(0.5, process.kill)
+        sim.run()
+        assert progressed == []
+        assert not process.alive
+
+    def test_killed_process_result_fails_for_joiners(self, sim):
+        def child():
+            yield sim.sleep(10.0)
+
+        child_process = sim.spawn(child())
+
+        def parent():
+            try:
+                yield child_process
+            except Interrupt:
+                return "joiner saw the kill"
+
+        sim.schedule(0.1, child_process.kill)
+        assert sim.run_process(parent()) == "joiner saw the kill"
+
+    def test_yielding_non_future_is_an_error(self, sim):
+        def body():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            sim.run_process(body())
+
+    def test_processes_are_deterministic(self):
+        def trace(sim):
+            order = []
+
+            def worker(name, delay):
+                yield sim.sleep(delay)
+                order.append(name)
+
+            for index in range(5):
+                sim.spawn(worker(index, 0.1 * (index % 3 + 1)))
+            sim.run()
+            return order
+
+        assert trace(Simulator()) == trace(Simulator())

@@ -1,0 +1,155 @@
+"""Unit tests for the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import NetworkConfig
+from repro.common.errors import SimulationError
+from repro.common.types import NodeId
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+A = NodeId.proxy(0)
+B = NodeId.storage(0)
+C = NodeId.storage(1)
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim, NetworkConfig(jitter_fraction=0.0))
+    for node in (A, B, C):
+        network.register(node)
+    return network
+
+
+def drain(sim, mailbox):
+    """Run the sim and return payloads delivered to a mailbox."""
+    sim.run()
+    payloads = []
+    while len(mailbox):
+        payloads.append(mailbox.receive().value.payload)
+    return payloads
+
+
+class TestDelivery:
+    def test_message_is_delivered(self, sim, net):
+        net.send(A, B, "hello", size=100)
+        assert drain(sim, net.mailbox(B)) == ["hello"]
+
+    def test_fifo_per_channel(self, sim, net):
+        for index in range(20):
+            net.send(A, B, index, size=100 + 50 * (index % 3))
+        assert drain(sim, net.mailbox(B)) == list(range(20))
+
+    def test_fifo_holds_with_mixed_sizes(self, sim, net):
+        # A large message followed by a tiny one must not be overtaken.
+        net.send(A, B, "big", size=10_000_000)
+        net.send(A, B, "small", size=1)
+        assert drain(sim, net.mailbox(B)) == ["big", "small"]
+
+    def test_delivery_latency_includes_transmission(self, sim, net):
+        config = NetworkConfig(jitter_fraction=0.0)
+        received_at = {}
+
+        def recv():
+            envelope = yield net.mailbox(B).receive()
+            received_at["t"] = sim.now
+            return envelope
+
+        size = 1_250_000  # 10 ms at 125 MB/s, paid twice (egress+ingress)
+        net.send(A, B, "x", size=size)
+        sim.run_process(recv())
+        expected = 2 * size / config.bandwidth + config.base_latency
+        assert received_at["t"] == pytest.approx(expected, rel=0.01)
+
+    def test_sender_egress_serializes_concurrent_sends(self, sim, net):
+        # Two large messages to *different* receivers still share the
+        # sender's NIC.
+        size = 1_250_000
+        net.send(A, B, "one", size=size)
+        net.send(A, C, "two", size=size)
+
+        times = {}
+
+        def recv(target, key):
+            yield net.mailbox(target).receive()
+            times[key] = sim.now
+
+        sim.spawn(recv(B, "b"))
+        sim.spawn(recv(C, "c"))
+        sim.run()
+        # The second transfer cannot finish before ~2 egress times.
+        assert times["c"] - times["b"] == pytest.approx(
+            size / NetworkConfig().bandwidth, rel=0.05
+        )
+
+    def test_unregistered_recipient_rejected(self, sim, net):
+        with pytest.raises(SimulationError):
+            net.send(A, NodeId.client(99), "x")
+
+    def test_duplicate_registration_rejected(self, sim, net):
+        with pytest.raises(SimulationError):
+            net.register(A)
+
+
+class TestCrashSemantics:
+    def test_send_from_crashed_node_dropped(self, sim, net):
+        net.crash(A)
+        net.send(A, B, "x")
+        assert drain(sim, net.mailbox(B)) == []
+        assert net.messages_dropped == 1
+
+    def test_send_to_crashed_node_dropped(self, sim, net):
+        net.crash(B)
+        net.send(A, B, "x")
+        sim.run()
+        assert net.messages_delivered == 0
+
+    def test_in_flight_message_to_crashing_node_dropped(self, sim, net):
+        net.send(A, B, "x", size=1_250_000)
+        sim.schedule(0.001, net.crash, B)
+        sim.run()
+        assert net.messages_delivered == 0
+        assert net.messages_dropped == 1
+
+    def test_crash_clears_queued_mailbox(self, sim, net):
+        net.send(A, B, "x", size=10)
+        sim.run()
+        assert len(net.mailbox(B)) == 1
+        net.crash(B)
+        assert len(net.mailbox(B)) == 0
+
+
+class TestDelayFactor:
+    def test_slow_channel_delays_delivery(self, sim, net):
+        net.set_delay_factor(A, B, 100.0)
+        arrival = {}
+
+        def recv():
+            yield net.mailbox(B).receive()
+            arrival["t"] = sim.now
+
+        net.send(A, B, "x", size=1)
+        sim.run_process(recv())
+        assert arrival["t"] >= 100 * NetworkConfig().base_latency
+
+    def test_invalid_factor_rejected(self, sim, net):
+        with pytest.raises(SimulationError):
+            net.set_delay_factor(A, B, 0.0)
+
+
+class TestCounters:
+    def test_bytes_and_messages_accounted(self, sim, net):
+        net.send(A, B, "x", size=100)
+        net.send(A, B, "y", size=200)
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.bytes_sent == 300
+
+    def test_nic_utilization_reported(self, sim, net):
+        net.send(A, B, "x", size=1_250_000)
+        sim.run()
+        egress, _ = net.nic_utilization(A, elapsed=sim.now)
+        assert egress > 0

@@ -1,0 +1,133 @@
+"""Unit tests for the Node base class (dispatch, lifecycle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import NodeCrashedError, SimulationError
+from repro.common.types import NodeId
+from repro.sim.node import Node
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+class EchoNode(Node):
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id)
+        self.pings = 0
+        self.register_handler(Ping, self._on_ping)
+
+    def _on_ping(self, envelope):
+        self.pings += 1
+        self.send(envelope.sender, Pong())
+
+
+class SlowNode(Node):
+    """Uses a generator handler that takes simulated time."""
+
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id)
+        self.done_at = []
+        self.register_handler(Ping, self._on_ping)
+
+    def _on_ping(self, envelope):
+        yield self.sim.sleep(0.5)
+        self.done_at.append(self.sim.now)
+
+
+class CollectorNode(Node):
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id)
+        self.pongs = 0
+        self.register_handler(Pong, self._on_pong)
+
+    def _on_pong(self, envelope):
+        self.pongs += 1
+
+
+@pytest.fixture
+def nodes(sim, network):
+    echo = EchoNode(sim, network, NodeId.storage(0))
+    collector = CollectorNode(sim, network, NodeId.proxy(0))
+    echo.start()
+    collector.start()
+    return echo, collector
+
+
+class TestDispatch:
+    def test_request_reply(self, sim, nodes):
+        echo, collector = nodes
+        collector.send(echo.node_id, Ping())
+        sim.run()
+        assert echo.pings == 1
+        assert collector.pongs == 1
+
+    def test_generator_handlers_run_concurrently(self, sim, network):
+        slow = SlowNode(sim, network, NodeId.storage(5))
+        sender = CollectorNode(sim, network, NodeId.proxy(5))
+        slow.start()
+        sender.start()
+        sender.send(slow.node_id, Ping())
+        sender.send(slow.node_id, Ping())
+        sim.run()
+        # Both handlers slept 0.5s in parallel, not 1.0s serialized.
+        assert len(slow.done_at) == 2
+        assert slow.done_at[1] - slow.done_at[0] < 0.4
+
+    def test_unknown_payload_raises(self, sim, nodes):
+        echo, collector = nodes
+        collector.send(echo.node_id, Pong())  # echo has no Pong handler
+        with pytest.raises(SimulationError, match="no handler"):
+            sim.run()
+
+    def test_duplicate_handler_rejected(self, sim, network):
+        node = EchoNode(sim, network, NodeId.storage(9))
+        with pytest.raises(SimulationError):
+            node.register_handler(Ping, lambda e: None)
+
+    def test_start_is_idempotent(self, sim, nodes):
+        echo, collector = nodes
+        echo.start()
+        collector.send(echo.node_id, Ping())
+        sim.run()
+        assert echo.pings == 1
+
+
+class TestCrash:
+    def test_crashed_node_stops_handling(self, sim, network, nodes):
+        echo, collector = nodes
+        network.crash(echo.node_id)
+        echo.crash()
+        collector.send(echo.node_id, Ping())
+        sim.run()
+        assert echo.pings == 0
+        assert collector.pongs == 0
+
+    def test_crashed_node_cannot_send(self, sim, nodes):
+        echo, collector = nodes
+        echo.crash()
+        with pytest.raises(NodeCrashedError):
+            echo.send(collector.node_id, Pong())
+
+    def test_crash_kills_child_processes(self, sim, network):
+        slow = SlowNode(sim, network, NodeId.storage(7))
+        sender = CollectorNode(sim, network, NodeId.proxy(7))
+        slow.start()
+        sender.start()
+        sender.send(slow.node_id, Ping())
+        sim.run(until=0.1)  # handler is mid-sleep
+        slow.crash()
+        sim.run()
+        assert slow.done_at == []
+
+    def test_crash_is_idempotent(self, sim, nodes):
+        echo, _ = nodes
+        echo.crash()
+        echo.crash()
+        assert not echo.alive

@@ -1,0 +1,138 @@
+"""Unit and property tests for the Space-Saving sketch."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.topk.space_saving import SpaceSaving
+
+
+class TestBasics:
+    def test_exact_when_under_capacity(self):
+        sketch = SpaceSaving(capacity=10)
+        for item, count in [("a", 5), ("b", 3), ("c", 1)]:
+            for _ in range(count):
+                sketch.update(item)
+        assert sketch.estimate("a") == 5
+        assert sketch.estimate("b") == 3
+        assert sketch.estimate("c") == 1
+        assert [e.item for e in sketch.top(2)] == ["a", "b"]
+        assert all(e.error == 0 for e in sketch.entries())
+
+    def test_untracked_item_estimates_zero(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.update("a")
+        assert sketch.estimate("zzz") == 0
+        assert "zzz" not in sketch
+
+    def test_weighted_updates(self):
+        sketch = SpaceSaving(capacity=4)
+        sketch.update("a", weight=10)
+        sketch.update("b", weight=3)
+        assert sketch.estimate("a") == 10
+        assert sketch.total == 13
+
+    def test_capacity_is_respected(self):
+        sketch = SpaceSaving(capacity=3)
+        for index in range(100):
+            sketch.update(f"item-{index}")
+        assert sketch.tracked_count <= 3
+
+    def test_eviction_inherits_min_count(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.update("a", weight=5)
+        sketch.update("b", weight=2)
+        sketch.update("c")  # evicts b (count 2) -> c estimated 3, error 2
+        assert sketch.estimate("c") == 3
+        entry = [e for e in sketch.entries() if e.item == "c"][0]
+        assert entry.error == 2
+        assert entry.guaranteed_count == 1
+
+    def test_clear_resets(self):
+        sketch = SpaceSaving(capacity=2)
+        sketch.update("a")
+        sketch.clear()
+        assert sketch.total == 0
+        assert sketch.tracked_count == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=0)
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=1).update("a", weight=0)
+        with pytest.raises(ConfigurationError):
+            SpaceSaving(capacity=1).top(-1)
+
+
+@st.composite
+def streams(draw):
+    alphabet = [f"k{i}" for i in range(30)]
+    return draw(
+        st.lists(st.sampled_from(alphabet), min_size=1, max_size=400)
+    )
+
+
+class TestGuarantees:
+    """The classic Space-Saving guarantees, property-tested."""
+
+    @given(stream=streams(), capacity=st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_never_underestimates(self, stream, capacity):
+        sketch = SpaceSaving(capacity=capacity)
+        for item in stream:
+            sketch.update(item)
+        truth = Counter(stream)
+        for entry in sketch.entries():
+            assert entry.count >= truth[entry.item]
+
+    @given(stream=streams(), capacity=st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_error_bounded_by_n_over_k(self, stream, capacity):
+        sketch = SpaceSaving(capacity=capacity)
+        for item in stream:
+            sketch.update(item)
+        truth = Counter(stream)
+        bound = len(stream) / capacity
+        for entry in sketch.entries():
+            assert entry.count - truth[entry.item] <= bound + 1e-9
+            assert entry.error <= bound + 1e-9
+
+    @given(stream=streams(), capacity=st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_heavy_hitters_always_tracked(self, stream, capacity):
+        """Any item with true frequency > n/capacity must be tracked."""
+        sketch = SpaceSaving(capacity=capacity)
+        for item in stream:
+            sketch.update(item)
+        truth = Counter(stream)
+        threshold = len(stream) / capacity
+        for item, count in truth.items():
+            if count > threshold:
+                assert item in sketch
+
+    @given(stream=streams())
+    @settings(max_examples=30)
+    def test_total_matches_stream_length(self, stream):
+        sketch = SpaceSaving(capacity=5)
+        for item in stream:
+            sketch.update(item)
+        assert sketch.total == len(stream)
+
+    def test_top_k_on_zipf_stream_finds_true_heavy_hitters(self):
+        rng = random.Random(0)
+        # Zipf-ish stream over 1000 items with capacity 64.
+        sketch = SpaceSaving(capacity=64)
+        truth = Counter()
+        for _ in range(20000):
+            rank = min(int(rng.paretovariate(1.1)), 1000)
+            item = f"obj-{rank}"
+            truth[item] += 1
+            sketch.update(item)
+        true_top = {item for item, _ in truth.most_common(5)}
+        sketch_top = {entry.item for entry in sketch.top(10)}
+        assert true_top <= sketch_top

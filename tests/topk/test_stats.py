@@ -1,0 +1,98 @@
+"""Unit tests for the proxy-side workload recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import OpType
+from repro.topk.stats import ProxyStatsRecorder
+
+
+@pytest.fixture
+def recorder() -> ProxyStatsRecorder:
+    return ProxyStatsRecorder(top_k=3, summary_capacity=32)
+
+
+class TestRecording:
+    def test_tail_collects_unmonitored_accesses(self, recorder):
+        recorder.record_access("a", OpType.WRITE, 100)
+        recorder.record_access("b", OpType.READ, 0)
+        recorder.record_access_size("b", 200)
+        _candidates, monitored, tail = recorder.snapshot_round(frozenset())
+        assert monitored == ()
+        assert tail.writes == 1
+        assert tail.reads == 1
+        assert tail.mean_size == pytest.approx(150.0)
+
+    def test_monitored_objects_get_exact_stats(self, recorder):
+        recorder.set_monitored(frozenset({"hot"}))
+        recorder.record_access("hot", OpType.WRITE, 100)
+        recorder.record_access("hot", OpType.READ, 0)
+        recorder.record_access_size("hot", 300)
+        recorder.record_access("cold", OpType.READ, 0)
+        _candidates, monitored, tail = recorder.snapshot_round(frozenset())
+        assert len(monitored) == 1
+        stats = monitored[0]
+        assert stats.object_id == "hot"
+        assert stats.writes == 1
+        assert stats.reads == 1
+        assert stats.write_ratio == pytest.approx(0.5)
+        assert stats.mean_size == pytest.approx(200.0)
+        assert tail.reads == 1
+
+    def test_optimized_objects_excluded_from_tail(self, recorder):
+        recorder.set_optimized(frozenset({"tuned"}))
+        recorder.record_access("tuned", OpType.WRITE, 100)
+        recorder.record_access("other", OpType.WRITE, 100)
+        _candidates, _monitored, tail = recorder.snapshot_round(frozenset())
+        assert tail.writes == 1  # only "other"
+
+    def test_candidates_ranked_by_frequency(self, recorder):
+        for _ in range(10):
+            recorder.record_access("big", OpType.READ, 0)
+        for _ in range(5):
+            recorder.record_access("mid", OpType.READ, 0)
+        recorder.record_access("small", OpType.READ, 0)
+        candidates, _m, _t = recorder.snapshot_round(frozenset())
+        assert list(candidates) == ["big", "mid", "small"]
+        assert candidates["big"] == 10
+
+    def test_candidates_exclude_optimized_and_monitored(self, recorder):
+        recorder.set_monitored(frozenset({"monitored"}))
+        for object_id in ("optimized", "monitored", "fresh"):
+            for _ in range(5):
+                recorder.record_access(object_id, OpType.READ, 0)
+        candidates, _m, _t = recorder.snapshot_round(
+            already_optimized=frozenset({"optimized"})
+        )
+        assert "optimized" not in candidates
+        assert "monitored" not in candidates
+        assert "fresh" in candidates
+
+    def test_candidates_capped_at_top_k(self, recorder):
+        for index in range(10):
+            recorder.record_access(f"o{index}", OpType.READ, 0)
+        candidates, _m, _t = recorder.snapshot_round(frozenset())
+        assert len(candidates) == 3  # top_k fixture value
+
+    def test_snapshot_resets_round_counters_but_not_summary(self, recorder):
+        recorder.record_access("a", OpType.WRITE, 10)
+        recorder.snapshot_round(frozenset())
+        _candidates, _m, tail = recorder.snapshot_round(frozenset())
+        assert tail.writes == 0  # round counters reset
+        candidates, _m, _t = recorder.snapshot_round(frozenset())
+        assert "a" in candidates  # summary persists across rounds
+
+    def test_read_size_attributed_to_last_access_only(self, recorder):
+        recorder.record_access("a", OpType.READ, 0)
+        recorder.record_access("b", OpType.READ, 0)
+        recorder.record_access_size("a", 100)  # stale: last access was b
+        _c, _m, tail = recorder.snapshot_round(frozenset())
+        assert tail.mean_size == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ProxyStatsRecorder(top_k=0, summary_capacity=10)
+        with pytest.raises(ConfigurationError):
+            ProxyStatsRecorder(top_k=10, summary_capacity=5)

@@ -1,0 +1,198 @@
+"""Unit tests for workload specs, synthetic streams, and mixtures."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.types import OpType
+from repro.workloads.generator import (
+    MixedWorkload,
+    MixtureComponent,
+    SWEEP_OBJECT_SIZES,
+    SWEEP_WRITE_RATIOS,
+    SyntheticWorkload,
+    WorkloadSpec,
+    sweep_specs,
+)
+
+
+class TestWorkloadSpec:
+    def test_label_and_percentage(self):
+        spec = WorkloadSpec(write_ratio=0.25, object_size=1024)
+        assert spec.write_percentage == 25.0
+        assert "25" in spec.label
+
+    def test_with_write_ratio(self):
+        spec = WorkloadSpec(write_ratio=0.1, object_size=1024, name="x")
+        changed = spec.with_write_ratio(0.9)
+        assert changed.write_ratio == 0.9
+        assert changed.object_size == 1024
+        assert changed.name == "x"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"write_ratio": -0.1, "object_size": 1},
+            {"write_ratio": 1.1, "object_size": 1},
+            {"write_ratio": 0.5, "object_size": -1},
+            {"write_ratio": 0.5, "object_size": 1, "num_objects": 0},
+            {"write_ratio": 0.5, "object_size": 1, "skew": -1.0},
+            {"write_ratio": 0.5, "object_size": 1, "size_sigma": -1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs).validate()
+
+
+class TestSyntheticWorkload:
+    def test_write_ratio_approximated(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(write_ratio=0.3, object_size=1024, num_objects=8)
+        )
+        rng = random.Random(0)
+        ops = [workload.next_operation(rng) for _ in range(5000)]
+        writes = sum(op.op_type is OpType.WRITE for op in ops)
+        assert writes / len(ops) == pytest.approx(0.3, abs=0.03)
+
+    def test_object_population_is_stable(self):
+        spec = WorkloadSpec(write_ratio=0.5, object_size=1024, num_objects=16)
+        a = SyntheticWorkload(spec, seed=1)
+        b = SyntheticWorkload(spec, seed=1)
+        assert a.object_ids() == b.object_ids()
+        assert [a.size_of(o) for o in a.object_ids()] == [
+            b.size_of(o) for o in b.object_ids()
+        ]
+
+    def test_write_values_are_unique(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(write_ratio=1.0, object_size=64, num_objects=4)
+        )
+        rng = random.Random(0)
+        values = [workload.next_operation(rng).value for _ in range(200)]
+        assert len(set(values)) == 200
+
+    def test_reads_have_no_payload(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(write_ratio=0.0, object_size=64, num_objects=4)
+        )
+        op = workload.next_operation(random.Random(0))
+        assert op.op_type is OpType.READ
+        assert op.value == b""
+
+    def test_constant_sizes_by_default(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(write_ratio=0.5, object_size=4096, num_objects=10)
+        )
+        assert {workload.size_of(o) for o in workload.object_ids()} == {4096}
+
+    def test_lognormal_size_spread(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(
+                write_ratio=0.5,
+                object_size=4096,
+                num_objects=200,
+                size_sigma=1.0,
+            ),
+            seed=3,
+        )
+        sizes = [workload.size_of(o) for o in workload.object_ids()]
+        assert min(sizes) < 4096 < max(sizes)
+        assert all(size >= 1 for size in sizes)
+
+    def test_skewed_access_concentrates_on_few_objects(self):
+        workload = SyntheticWorkload(
+            WorkloadSpec(
+                write_ratio=0.5, object_size=64, num_objects=100, skew=1.2
+            )
+        )
+        rng = random.Random(0)
+        counts = Counter(
+            workload.next_operation(rng).object_id for _ in range(10000)
+        )
+        top_share = sum(c for _o, c in counts.most_common(10)) / 10000
+        assert top_share > 0.5
+
+
+class TestSweep:
+    def test_sweep_has_paper_scale(self):
+        specs = sweep_specs()
+        assert len(specs) == len(SWEEP_WRITE_RATIOS) * len(SWEEP_OBJECT_SIZES)
+        assert 160 <= len(specs) <= 180  # "approx. 170 workloads"
+
+    def test_sweep_covers_both_axes(self):
+        specs = sweep_specs()
+        assert {s.write_ratio for s in specs} == set(SWEEP_WRITE_RATIOS)
+        assert {s.object_size for s in specs} == set(SWEEP_OBJECT_SIZES)
+
+    def test_all_specs_valid(self):
+        for spec in sweep_specs():
+            spec.validate()
+
+
+class TestMixedWorkload:
+    def _mixture(self) -> MixedWorkload:
+        return MixedWorkload(
+            [
+                MixtureComponent(
+                    WorkloadSpec(
+                        write_ratio=0.0,
+                        object_size=64,
+                        num_objects=4,
+                        name="readers",
+                    ),
+                    weight=0.8,
+                ),
+                MixtureComponent(
+                    WorkloadSpec(
+                        write_ratio=1.0,
+                        object_size=64,
+                        num_objects=4,
+                        name="writers",
+                    ),
+                    weight=0.2,
+                ),
+            ],
+            seed=1,
+        )
+
+    def test_component_weights_respected(self):
+        mixture = self._mixture()
+        rng = random.Random(0)
+        ops = [mixture.next_operation(rng) for _ in range(5000)]
+        reader_ops = sum(
+            op.object_id.startswith("readers") for op in ops
+        )
+        assert reader_ops / len(ops) == pytest.approx(0.8, abs=0.05)
+
+    def test_populations_are_disjoint(self):
+        mixture = self._mixture()
+        ids = mixture.object_ids()
+        assert len(ids) == len(set(ids)) == 8
+
+    def test_component_profiles_preserved(self):
+        mixture = self._mixture()
+        rng = random.Random(0)
+        for _ in range(500):
+            op = mixture.next_operation(rng)
+            if op.object_id.startswith("readers"):
+                assert op.op_type is OpType.READ
+            else:
+                assert op.op_type is OpType.WRITE
+
+    def test_invalid_mixtures_rejected(self):
+        with pytest.raises(WorkloadError):
+            MixedWorkload([])
+        with pytest.raises(WorkloadError):
+            MixedWorkload(
+                [
+                    MixtureComponent(
+                        WorkloadSpec(write_ratio=0.5, object_size=1),
+                        weight=0.0,
+                    )
+                ]
+            )

@@ -1,0 +1,201 @@
+"""Unit tests for YCSB presets and time-varying traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.types import OpType
+from repro.workloads import ycsb
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.traces import Phase, PhasedWorkload, commute_trace
+
+
+class TestYcsbPresets:
+    def test_paper_mixes(self):
+        assert ycsb.workload_a().write_ratio == 0.50
+        assert ycsb.workload_b().write_ratio == 0.05
+        assert ycsb.workload_c_paper().write_ratio == 0.99
+        assert ycsb.workload_c_standard().write_ratio == 0.0
+        assert ycsb.workload_f().write_ratio == 0.50
+
+    def test_figure2_order(self):
+        names = [spec.name for spec in ycsb.figure2_workloads()]
+        assert names == ["ycsb-a", "ycsb-b", "ycsb-c-paper"]
+
+    def test_build_returns_stream(self):
+        workload = ycsb.build(ycsb.workload_a(num_objects=8), seed=1)
+        op = workload.next_operation(random.Random(0))
+        assert op.op_type in (OpType.READ, OpType.WRITE)
+
+    def test_all_presets_validate(self):
+        for spec in [
+            ycsb.workload_a(),
+            ycsb.workload_b(),
+            ycsb.workload_c_paper(),
+            ycsb.workload_c_standard(),
+            ycsb.workload_d(),
+            ycsb.workload_f(),
+        ]:
+            spec.validate()
+
+
+class TestPhasedWorkload:
+    def _trace(self, clock):
+        office = WorkloadSpec(
+            write_ratio=0.0, object_size=64, num_objects=8, name="trace"
+        )
+        home = office.with_write_ratio(1.0)
+        return PhasedWorkload(
+            phases=[
+                Phase(start_time=0.0, spec=office),
+                Phase(start_time=10.0, spec=home),
+            ],
+            clock=clock,
+            seed=1,
+        )
+
+    def test_phase_switches_with_clock(self):
+        now = [0.0]
+        trace = self._trace(lambda: now[0])
+        rng = random.Random(0)
+        assert all(
+            trace.next_operation(rng).op_type is OpType.READ
+            for _ in range(50)
+        )
+        now[0] = 15.0
+        assert all(
+            trace.next_operation(rng).op_type is OpType.WRITE
+            for _ in range(50)
+        )
+
+    def test_phase_index_lookup(self):
+        trace = self._trace(lambda: 0.0)
+        assert trace.phase_index_at(0.0) == 0
+        assert trace.phase_index_at(9.99) == 0
+        assert trace.phase_index_at(10.0) == 1
+        assert trace.phase_index_at(100.0) == 1
+
+    def test_object_population_shared_across_phases(self):
+        now = [0.0]
+        trace = self._trace(lambda: now[0])
+        rng = random.Random(0)
+        before = {trace.next_operation(rng).object_id for _ in range(200)}
+        now[0] = 20.0
+        after = {trace.next_operation(rng).object_id for _ in range(200)}
+        assert before == after == set(trace.object_ids())
+
+    def test_active_spec_reports_current_phase(self):
+        now = [0.0]
+        trace = self._trace(lambda: now[0])
+        assert trace.active_spec().write_ratio == 0.0
+        now[0] = 12.0
+        assert trace.active_spec().write_ratio == 1.0
+
+    def test_invalid_phase_lists_rejected(self):
+        spec = WorkloadSpec(write_ratio=0.5, object_size=64)
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([], clock=lambda: 0.0)
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(
+                [Phase(start_time=1.0, spec=spec)], clock=lambda: 0.0
+            )
+        with pytest.raises(WorkloadError):
+            PhasedWorkload(
+                [
+                    Phase(start_time=0.0, spec=spec),
+                    Phase(start_time=5.0, spec=spec),
+                    Phase(start_time=2.0, spec=spec),
+                ],
+                clock=lambda: 0.0,
+            )
+
+
+class TestCommuteTrace:
+    def test_builds_two_phases(self):
+        office = WorkloadSpec(
+            write_ratio=0.05, object_size=64, num_objects=8, name="c"
+        )
+        home = office.with_write_ratio(0.95)
+        trace = commute_trace(
+            office, home, switch_time=30.0, clock=lambda: 0.0
+        )
+        assert len(trace.phases) == 2
+        assert trace.phases[1].start_time == 30.0
+        assert trace.phases[1].spec.write_ratio == 0.95
+
+
+class TestDiurnalTrace:
+    def test_alternating_phases(self):
+        from repro.workloads.traces import diurnal_trace
+
+        day = WorkloadSpec(
+            write_ratio=0.0, object_size=64, num_objects=8, name="d"
+        )
+        night = day.with_write_ratio(1.0)
+        now = [0.0]
+        trace = diurnal_trace(
+            day, night, period=10.0, cycles=2, clock=lambda: now[0]
+        )
+        assert len(trace.phases) == 4
+        rng = random.Random(0)
+        now[0] = 5.0
+        assert trace.next_operation(rng).op_type is OpType.READ
+        now[0] = 15.0
+        assert trace.next_operation(rng).op_type is OpType.WRITE
+        now[0] = 25.0
+        assert trace.next_operation(rng).op_type is OpType.READ
+        now[0] = 35.0
+        assert trace.next_operation(rng).op_type is OpType.WRITE
+
+
+class TestProfileFlipWorkload:
+    def _flip(self, clock):
+        from repro.workloads.traces import ProfileFlipWorkload
+
+        spec_a = WorkloadSpec(
+            write_ratio=0.0, object_size=64, num_objects=4, name="pop-a"
+        )
+        spec_b = WorkloadSpec(
+            write_ratio=1.0, object_size=64, num_objects=4, name="pop-b"
+        )
+        return ProfileFlipWorkload(
+            spec_a, spec_b, flip_time=10.0, clock=clock, seed=2
+        )
+
+    def test_profiles_swap_at_flip_time(self):
+        now = [0.0]
+        trace = self._flip(lambda: now[0])
+        rng = random.Random(0)
+        for _ in range(200):
+            op = trace.next_operation(rng)
+            if op.object_id.startswith("pop-a"):
+                assert op.op_type is OpType.READ
+            else:
+                assert op.op_type is OpType.WRITE
+        now[0] = 12.0
+        assert trace.flipped
+        for _ in range(200):
+            op = trace.next_operation(rng)
+            if op.object_id.startswith("pop-a"):
+                assert op.op_type is OpType.WRITE
+            else:
+                assert op.op_type is OpType.READ
+
+    def test_population_stable_across_flip(self):
+        now = [0.0]
+        trace = self._flip(lambda: now[0])
+        rng = random.Random(0)
+        before = {trace.next_operation(rng).object_id for _ in range(300)}
+        now[0] = 20.0
+        after = {trace.next_operation(rng).object_id for _ in range(300)}
+        assert before == after == set(trace.object_ids())
+
+    def test_invalid_flip_time(self):
+        from repro.workloads.traces import ProfileFlipWorkload
+
+        spec = WorkloadSpec(write_ratio=0.5, object_size=64, num_objects=4)
+        with pytest.raises(WorkloadError):
+            ProfileFlipWorkload(spec, spec, flip_time=0.0, clock=lambda: 0.0)

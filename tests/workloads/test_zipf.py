@@ -1,0 +1,61 @@
+"""Unit and property tests for the Zipf sampler."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_uniform_when_exponent_zero(self):
+        sampler = ZipfSampler(n=10, exponent=0.0)
+        rng = random.Random(0)
+        counts = Counter(sampler.sample(rng) for _ in range(20000))
+        for rank in range(10):
+            assert counts[rank] == pytest.approx(2000, rel=0.15)
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(n=100, exponent=0.99)
+        rng = random.Random(1)
+        counts = Counter(sampler.sample(rng) for _ in range(20000))
+        assert counts[0] > counts[10] > counts[90]
+
+    def test_probability_matches_empirical(self):
+        sampler = ZipfSampler(n=20, exponent=0.99)
+        rng = random.Random(2)
+        n = 50000
+        counts = Counter(sampler.sample(rng) for _ in range(n))
+        for rank in (0, 5, 19):
+            expected = sampler.probability(rank)
+            assert counts[rank] / n == pytest.approx(expected, rel=0.2)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(n=50, exponent=1.2)
+        total = sum(sampler.probability(rank) for rank in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(n=0, exponent=1.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(n=10, exponent=-0.5)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(n=10, exponent=1.0).probability(10)
+
+    @given(
+        n=st.integers(1, 200),
+        exponent=st.floats(0, 3, allow_nan=False),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_samples_always_in_range(self, n, exponent, seed):
+        sampler = ZipfSampler(n=n, exponent=exponent)
+        rng = random.Random(seed)
+        for _ in range(20):
+            assert 0 <= sampler.sample(rng) < n
