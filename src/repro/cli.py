@@ -160,11 +160,23 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--write-ratio", type=float, default=0.5)
             sub.add_argument("--object-size", type=int, default=64 * 1024)
             sub.add_argument("--clients", type=int, default=50)
+    subparsers.add_parser(
+        "qlint",
+        help="protocol-invariant static analysis (see python -m repro.qlint)",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "qlint":
+        # Forwarded wholesale: ``python -m repro qlint ...`` is the same
+        # tool as ``python -m repro.qlint ...``.
+        from repro.qlint.cli import main as qlint_main
+
+        return qlint_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     handler, _help = COMMANDS[args.command]
     print(handler(args))
     return 0

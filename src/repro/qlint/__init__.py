@@ -1,0 +1,40 @@
+"""qlint — static analysis for Q-OPT's protocol invariants.
+
+Two analyzer families over the ``repro`` source tree:
+
+* **Determinism linters** (QD001-QD004): the discrete-event simulator
+  must be bit-for-bit reproducible per seed, so unseeded randomness,
+  wall-clock reads, unordered-set iteration and mutable default
+  arguments are errors in protocol code.
+* **Quorum-safety analyzer** (QS001-QS003): every ``QuorumConfig`` /
+  ``QuorumPlan`` that can reach the data plane must pass through
+  ``validate_strict`` (R + W > N, max(R, W) <= N), and statically
+  decidable violations are reported at lint time.
+
+Run via ``python -m repro.qlint`` or through the bundled pytest plugin
+(``repro.qlint.pytest_plugin``), which tier-1 test runs load.
+"""
+
+from repro.qlint.determinism import DeterminismLinter
+from repro.qlint.findings import (
+    Finding,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+)
+from repro.qlint.quorum_safety import QuorumSafetyLinter
+from repro.qlint.runner import ALL_RULES, RULE_SUMMARIES, run_suite
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_SUMMARIES",
+    "DeterminismLinter",
+    "Finding",
+    "QuorumSafetyLinter",
+    "Severity",
+    "exit_code",
+    "render_json",
+    "render_text",
+    "run_suite",
+]

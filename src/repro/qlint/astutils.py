@@ -1,0 +1,198 @@
+"""Shared AST plumbing for the qlint analyzers.
+
+The analyzers are plain ``ast`` walkers (no third-party dependency).
+This module centralizes the pieces they share:
+
+* :class:`SourceFile` — one parsed file with its pragma table;
+* ``# qlint: ok RULE`` / ``# qlint: disable=RULE1,RULE2`` suppression
+  pragmas, resolved per physical line;
+* import resolution (which local names refer to which modules), so that
+  ``random.random()`` is distinguished from ``self._rng.random()``;
+* dotted-name rendering of call targets.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+_PRAGMA = re.compile(
+    r"#\s*qlint:\s*(?:ok|disable=?)\s*([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*|all)?"
+)
+
+
+def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    The sentinel rule id ``"all"`` suppresses every rule on the line.
+    Pragmas are read from real comment tokens (not string literals).
+    """
+    pragmas: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if not match:
+                continue
+            spec = match.group(1) or "all"
+            rules = frozenset(
+                part.strip() for part in spec.split(",") if part.strip()
+            )
+            pragmas[token.start[0]] = rules
+    except tokenize.TokenError:  # pragma: no cover - broken source
+        pass
+    return pragmas
+
+
+@dataclass
+class SourceFile:
+    """One file under analysis: path, source, AST, pragma table."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @staticmethod
+    def parse(path: Path) -> "SourceFile":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return SourceFile(
+            path=path,
+            source=source,
+            tree=tree,
+            pragmas=_pragma_lines(source),
+        )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.pragmas.get(line)
+        return rules is not None and (rule in rules or "all" in rules)
+
+
+class ImportMap:
+    """Which local names are bound to which modules/objects.
+
+    Tracks both plain module imports (``import random``,
+    ``import numpy as np``) and from-imports (``from time import time``),
+    mapping the *local* name to the fully qualified origin, e.g.::
+
+        import numpy as np        ->  {"np": "numpy"}
+        from random import choice ->  {"choice": "random.choice"}
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}
+        self.objects: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    self.modules[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import — not a stdlib module
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.objects[local] = f"{node.module}.{alias.name}"
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Fully qualified name of a call target, or None.
+
+        ``random.random`` resolves through a module import;
+        ``np.random.default_rng`` through the dotted chain; a bare name
+        resolves through from-imports.  Attribute chains rooted at
+        anything else (``self._rng.random``) resolve to None — they are
+        instance calls, not module-level calls.
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if rest:
+            module = self.modules.get(head)
+            if module is not None:
+                return f"{module}.{rest}"
+            origin = self.objects.get(head)
+            if origin is not None:
+                return f"{origin}.{rest}"
+            return None
+        return self.objects.get(head, None)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The syntactic (unresolved) dotted name of a call target."""
+    return dotted_name(node.func)
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, Optional[str]]]:
+    """Yield ``(function_node, enclosing_class_name)`` pairs."""
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.found: list[tuple[ast.AST, Optional[str]]] = []
+            self._class: list[str] = []
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self._class.append(node.name)
+            self.generic_visit(node)
+            self._class.pop()
+
+        def _visit_func(self, node: ast.AST) -> None:
+            owner = self._class[-1] if self._class else None
+            self.found.append((node, owner))
+            self.generic_visit(node)
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    visitor = _Visitor()
+    visitor.visit(tree)
+    yield from visitor.found
+
+
+def iter_python_files(paths: list[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def int_literal(node: ast.expr) -> Optional[int]:
+    """The value of an integer literal expression, else None."""
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = int_literal(node.operand)
+        return -inner if inner is not None else None
+    return None

@@ -1,0 +1,86 @@
+"""``python -m repro.qlint`` — run the protocol-invariant linters.
+
+Exit code 0 when clean (or warnings only), 1 when any error-severity
+finding is present, 2 on usage errors.  ``--format json`` emits a
+machine-readable report for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.qlint.findings import exit_code, render_json, render_text
+from repro.qlint.runner import ALL_RULES, RULE_SUMMARIES, run_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.qlint",
+        description=(
+            "Static analysis for Q-OPT protocol invariants: determinism "
+            "of the simulator and strict quorum intersection at every "
+            "configuration site."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=(
+            "files or directories to analyze (default: the repro "
+            "protocol packages)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only report these rule ids (repeatable, e.g. --select QD001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with a one-line summary and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ("QL000",) + tuple(ALL_RULES):
+            print(f"{rule}  {RULE_SUMMARIES[rule]}")
+        return 0
+    if args.select:
+        unknown = set(args.select) - set(RULE_SUMMARIES)
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    for path in args.paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+    findings = run_suite(
+        paths=args.paths or None, select=args.select or None
+    )
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return exit_code(findings)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Finding model shared by all qlint analyzers.
+
+A :class:`Finding` is one rule violation at one source location.  The
+model is deliberately flat — rule id, severity, location, message — so
+that it serializes to JSON losslessly (for CI) and renders to a compact
+one-line form (for humans) without any analyzer-specific logic.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are protocol-safety or reproducibility hazards and
+    fail the build; ``WARNING`` findings are suspicious constructs that
+    deserve a look but do not gate CI (exit code stays 0).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def fails_build(self) -> bool:
+        return self is Severity.ERROR
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in sorted(findings)]
+    errors = sum(1 for f in findings if f.severity.fails_build)
+    warnings = len(findings) - errors
+    lines.append(
+        f"qlint: {errors} error(s), {warnings} warning(s)"
+        if findings
+        else "qlint: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "errors": sum(1 for f in findings if f.severity.fails_build),
+        "warnings": sum(
+            1 for f in findings if not f.severity.fails_build
+        ),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def exit_code(findings: Iterable[Finding]) -> int:
+    """Non-zero iff any finding gates the build."""
+    return 1 if any(f.severity.fails_build for f in findings) else 0

@@ -1,0 +1,92 @@
+"""pytest plugin: run qlint as part of the test session.
+
+Registered from ``tests/conftest.py`` (``pytest_plugins``), so the
+tier-1 command — ``PYTHONPATH=src python -m pytest`` — gates on the
+protocol invariants without any extra CI step.  The suite appears as a
+single synthetic test item named ``qlint::protocol-invariants``.
+
+Options:
+
+``--no-qlint``
+    Skip the linters (e.g. for quick local red/green loops).
+``--qlint-paths PATH``
+    Analyze these paths instead of the installed ``repro`` package —
+    used by qlint's own tests to point the plugin at fixture trees.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.qlint.findings import render_text
+from repro.qlint.runner import run_suite
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("qlint")
+    group.addoption(
+        "--no-qlint",
+        action="store_true",
+        default=False,
+        help="skip the protocol-invariant static analysis suite",
+    )
+    group.addoption(
+        "--qlint-paths",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="analyze these paths instead of the repro package",
+    )
+
+
+class QlintError(Exception):
+    """Raised (and rendered) when the analyzers report errors."""
+
+
+class QlintItem(pytest.Item):
+    """One synthetic test item running the whole analysis suite."""
+
+    def __init__(self, *, paths, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._paths = paths
+
+    def runtest(self) -> None:
+        findings = run_suite(paths=self._paths)
+        gating = [f for f in findings if f.severity.fails_build]
+        if gating:
+            raise QlintError(render_text(findings))
+
+    def repr_failure(self, excinfo):  # noqa: D102 - pytest hook
+        if isinstance(excinfo.value, QlintError):
+            return str(excinfo.value)
+        return super().repr_failure(excinfo)
+
+    def reportinfo(self):
+        return self.path, None, "qlint: protocol invariants"
+
+
+class QlintCollector(pytest.Collector):
+    """Parent node so the item shows up under a stable ``qlint`` group."""
+
+    def collect(self):
+        paths = self.config.getoption("--qlint-paths")
+        resolved = [Path(p) for p in paths] if paths else None
+        yield QlintItem.from_parent(
+            self, name="protocol-invariants", paths=resolved
+        )
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(
+    session: pytest.Session, config: pytest.Config, items
+) -> None:
+    if config.getoption("--no-qlint"):
+        return
+    # Only gate full-suite runs: a targeted run (node ids / -k / file
+    # selection) should execute exactly what the user asked for.
+    if config.args and any("::" in str(arg) for arg in config.args):
+        return
+    collector = QlintCollector.from_parent(session, name="qlint")
+    items.extend(collector.collect())

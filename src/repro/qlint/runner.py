@@ -1,0 +1,105 @@
+"""Orchestrates the analyzers over a file set.
+
+Default scope (when no paths are given): the protocol packages named in
+the determinism contract — ``sim``, ``sds``, ``autonomic``, ``reconfig``
+— plus ``common`` for the determinism rules, and all of ``src/repro``
+for the quorum-safety rules.  Explicit paths run every analyzer over
+exactly those paths (that is what the fixture tests and CI do).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.qlint.astutils import SourceFile, iter_python_files
+from repro.qlint.determinism import DeterminismLinter
+from repro.qlint.findings import Finding, Severity
+from repro.qlint.quorum_safety import QuorumSafetyLinter
+
+#: Packages the determinism rules walk by default, relative to the
+#: ``repro`` package root.
+DETERMINISM_PACKAGES = ("sim", "sds", "autonomic", "reconfig", "common")
+
+ALL_RULES = tuple(DeterminismLinter.rules) + tuple(QuorumSafetyLinter.rules)
+
+RULE_SUMMARIES = {
+    "QL000": "file cannot be parsed",
+    "QD001": "unseeded randomness outside common/rng.py",
+    "QD002": "wall-clock access in simulated code",
+    "QD003": "iteration over an unordered set",
+    "QD004": "mutable default argument",
+    "QS001": "quorum construction never validated",
+    "QS002": "reconfiguration site installs an unvalidated plan",
+    "QS003": "statically provable strict-quorum violation",
+}
+
+
+def repro_root() -> Path:
+    """The installed ``repro`` package directory (i.e. ``src/repro``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _parse(
+    paths: Sequence[Path],
+) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every python file; unparseable files become QL000 findings."""
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in iter_python_files(list(paths)):
+        try:
+            sources.append(SourceFile.parse(path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(
+                Finding(
+                    path=str(path),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    column=1,
+                    rule="QL000",
+                    message=f"cannot parse file: {exc}",
+                    severity=Severity.ERROR,
+                )
+            )
+    return sources, errors
+
+
+def run_suite(
+    paths: Optional[Sequence[Path]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Run every analyzer; return the combined, filtered finding list.
+
+    ``paths=None`` selects the default scope described in the module
+    docstring.  ``select`` restricts output to the given rule ids.
+    """
+    if paths is None:
+        root = repro_root()
+        determinism_paths = [
+            root / package
+            for package in DETERMINISM_PACKAGES
+            if (root / package).exists()
+        ]
+        quorum_paths: Sequence[Path] = [root]
+    else:
+        determinism_paths = list(paths)
+        quorum_paths = list(paths)
+
+    determinism_sources, determinism_errors = _parse(determinism_paths)
+    quorum_sources, quorum_errors = _parse(quorum_paths)
+
+    findings: list[Finding] = list(determinism_errors) + list(quorum_errors)
+
+    determinism_linter = DeterminismLinter()
+    for source in determinism_sources:
+        findings.extend(determinism_linter.run(source))
+
+    quorum_linter = QuorumSafetyLinter()
+    quorum_linter.prepare(quorum_sources)
+    for source in quorum_sources:
+        findings.extend(quorum_linter.run(source))
+
+    unique = sorted(set(findings))
+    if select:
+        wanted = set(select)
+        unique = [f for f in unique if f.rule in wanted]
+    return unique

@@ -29,15 +29,30 @@ new-then-old across clients until that write completes.  Once a write
 completes — i.e. its full write quorum acknowledged — every subsequent
 read quorum intersects it and staleness is impossible, which is exactly
 what checks 2 and 3 verify.
+
+On top of those per-read interval checks, the module provides a
+**Wing–Gong linearizability checker** (:class:`LinearizabilityChecker`):
+a complete per-key search for a linearization of the observed history
+against an atomic-register specification.  Values are globally unique
+per write, so the search state collapses to (set of linearized
+operations, last linearized write) and memoized reachability decides
+each key in practice-linear time; independent time chunks (quiescent
+points where every earlier operation has completed) are checked
+separately with the possible register values threaded across the
+boundary.  Atomicity is *stronger* than the guarantee Q-OPT makes while
+a write is in flight, so :meth:`HistoryChecker.check` remains the
+protocol-level oracle; the linearizability checker is the strictest
+regression net for histories that should be atomic, and is what the
+integration suite and the fault-injection example run under.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.common.types import ObjectId, OpType
+from repro.common.types import ObjectId, OpType, VersionStamp
 from repro.sds.client import OperationRecord
 
 
@@ -82,6 +97,29 @@ class HistoryChecker:
             summary = "\n".join(str(v) for v in violations[:10])
             raise AssertionError(
                 f"{len(violations)} consistency violations, e.g.:\n{summary}"
+            )
+
+    def check_linearizable(
+        self, max_states: int = 1_000_000
+    ) -> list[Violation]:
+        """Full Wing–Gong search over the history (atomic register).
+
+        Strictly stronger than :meth:`check`: a pass here implies a pass
+        there, but histories that legally show new-then-old across an
+        in-flight write (regular-register behaviour) fail this check
+        while passing :meth:`check`.
+        """
+        checker = LinearizabilityChecker(max_states=max_states)
+        return checker.check(self.records)
+
+    def assert_linearizable(self, max_states: int = 1_000_000) -> None:
+        """Raise ``AssertionError`` listing linearizability violations."""
+        violations = self.check_linearizable(max_states=max_states)
+        if violations:
+            summary = "\n".join(str(v) for v in violations[:10])
+            raise AssertionError(
+                f"{len(violations)} linearizability violations, e.g.:\n"
+                f"{summary}"
             )
 
     # -- per-object logic ------------------------------------------------------
@@ -214,4 +252,305 @@ class HistoryChecker:
                         ),
                     )
                 )
+
+        # 4. Write-order consistency: the version-stamp total order on
+        # writes must extend their real-time order.  A write's stamp is
+        # only observable through the reads that returned its value, so
+        # the check covers every pair of non-concurrent writes whose
+        # values were both read at least once.
+        violations.extend(
+            self._check_write_order(object_id, reads, writes)
+        )
         return violations
+
+    def _check_write_order(
+        self,
+        object_id: ObjectId,
+        reads: list[OperationRecord],
+        writes: list[OperationRecord],
+    ) -> list[Violation]:
+        stamp_of: dict[bytes, VersionStamp] = {}
+        for read in reads:
+            if read.value is not None:
+                stamp_of.setdefault(read.value, read.stamp)
+        stamped = [
+            w for w in writes if w.value in stamp_of
+        ]
+        violations: list[Violation] = []
+        by_invocation = sorted(stamped, key=lambda w: w.invoked_at)
+        by_completion = sorted(stamped, key=lambda w: w.completed_at)
+        pointer = 0
+        best_stamp = None
+        best_write: Optional[OperationRecord] = None
+        for write in by_invocation:
+            while (
+                pointer < len(by_completion)
+                and by_completion[pointer].completed_at < write.invoked_at
+            ):
+                candidate = stamp_of[by_completion[pointer].value]
+                if best_stamp is None or candidate > best_stamp:
+                    best_stamp = candidate
+                    best_write = by_completion[pointer]
+                pointer += 1
+            if (
+                best_stamp is not None
+                and best_write is not None
+                and stamp_of[write.value] < best_stamp
+            ):
+                violations.append(
+                    Violation(
+                        kind="write-order-inversion",
+                        object_id=object_id,
+                        description=(
+                            f"write invoked at {write.invoked_at:.4f} got "
+                            f"stamp {stamp_of[write.value]}, older than "
+                            f"stamp {best_stamp} of a write that completed "
+                            "before it started — the stamp order "
+                            "contradicts real time"
+                        ),
+                    )
+                )
+        return violations
+
+
+# -- Wing–Gong linearizability ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LinOp:
+    """One operation in the per-key linearizability search."""
+
+    index: int
+    op_type: OpType
+    invoked_at: float
+    completed_at: float
+    value: Optional[bytes]
+
+    @property
+    def pending(self) -> bool:
+        return self.completed_at == float("inf")
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The state space of one chunk outgrew ``max_states``.
+
+    Distinct from a violation: the history was neither proved nor
+    refuted.  Raise the budget or reduce the history length.
+    """
+
+
+class LinearizabilityChecker:
+    """Complete per-key linearizability check (Wing & Gong, 1993).
+
+    The specification is an atomic register: at its linearization point
+    a write installs its (globally unique) value and a read returns the
+    value installed by the most recently linearized write (``None``
+    before the first write).  The search explores every linearization
+    consistent with the real-time partial order, memoizing on the state
+    ``(set of linearized ops, last linearized write)`` — with unique
+    write values this is exactly the information the future depends on,
+    so the memoized reachability search is complete.
+
+    Two scale levers keep the search tractable on long histories:
+
+    * **Quiescence chunking** — at any instant where every earlier
+      operation has completed, the history splits into independent
+      chunks; only the set of *possible register values* crosses the
+      boundary.
+    * **State budget** — a hard cap on explored states per chunk
+      (:class:`SearchBudgetExceeded` when exceeded, never a silent
+      pass).
+
+    Writes that never completed (in-flight at the end of the run) may
+    linearize or not; reads are always required to linearize.
+    """
+
+    def __init__(self, max_states: int = 1_000_000) -> None:
+        self._max_states = max_states
+
+    # -- public API ---------------------------------------------------------
+
+    def check(
+        self, records: Sequence[OperationRecord]
+    ) -> list[Violation]:
+        """All linearizability violations over the record set."""
+        by_object: dict[ObjectId, list[OperationRecord]] = {}
+        for record in records:
+            by_object.setdefault(record.object_id, []).append(record)
+        violations: list[Violation] = []
+        for object_id, history in by_object.items():
+            violations.extend(self._check_object(object_id, history))
+        return violations
+
+    # -- per-object search --------------------------------------------------
+
+    def _check_object(
+        self, object_id: ObjectId, history: list[OperationRecord]
+    ) -> list[Violation]:
+        write_by_value: dict[bytes, OperationRecord] = {}
+        for record in history:
+            if record.op_type is not OpType.WRITE or record.value is None:
+                continue
+            existing = write_by_value.get(record.value)
+            if existing is None or record.completed_at < existing.completed_at:
+                write_by_value[record.value] = record
+
+        ops: list[_LinOp] = []
+        violations: list[Violation] = []
+        for record in history:
+            if record.op_type is OpType.READ:
+                if (
+                    record.value is not None
+                    and record.value not in write_by_value
+                ):
+                    violations.append(
+                        Violation(
+                            kind="fabricated-value",
+                            object_id=object_id,
+                            description=(
+                                f"read at {record.invoked_at:.4f} returned "
+                                f"{record.value!r}, written by no recorded "
+                                "write — excluded from the linearization "
+                                "search"
+                            ),
+                        )
+                    )
+                    continue
+                ops.append(
+                    _LinOp(
+                        index=len(ops),
+                        op_type=OpType.READ,
+                        invoked_at=record.invoked_at,
+                        completed_at=record.completed_at,
+                        value=record.value,
+                    )
+                )
+        for record in write_by_value.values():
+            ops.append(
+                _LinOp(
+                    index=len(ops),
+                    op_type=OpType.WRITE,
+                    invoked_at=record.invoked_at,
+                    completed_at=record.completed_at,
+                    value=record.value,
+                )
+            )
+
+        possible_values: frozenset[Optional[bytes]] = frozenset({None})
+        for chunk in self._chunks(ops):
+            outcome = self._search_chunk(chunk, possible_values)
+            if outcome is None:
+                violations.append(
+                    self._diagnose(object_id, chunk, possible_values)
+                )
+                # Restart from an unconstrained value so later chunks
+                # still get checked instead of cascading failures.
+                possible_values = frozenset(
+                    {None} | {op.value for op in ops if op.op_type is OpType.WRITE}
+                )
+            else:
+                possible_values = outcome
+        return violations
+
+    @staticmethod
+    def _chunks(ops: list[_LinOp]) -> list[list[_LinOp]]:
+        """Split at quiescent points (every earlier op strictly done)."""
+        ordered = sorted(
+            ops, key=lambda op: (op.invoked_at, op.completed_at, op.index)
+        )
+        chunks: list[list[_LinOp]] = []
+        current: list[_LinOp] = []
+        horizon = float("-inf")
+        for op in ordered:
+            if current and horizon < op.invoked_at:
+                chunks.append(current)
+                current = []
+            current.append(op)
+            horizon = max(horizon, op.completed_at)
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _search_chunk(
+        self,
+        chunk: list[_LinOp],
+        initial_values: frozenset[Optional[bytes]],
+    ) -> Optional[frozenset[Optional[bytes]]]:
+        """Reachability over (done-mask, register value) states.
+
+        Returns the set of possible register values after the chunk, or
+        None when no linearization exists.
+        """
+        n = len(chunk)
+        # pred[i]: mask of ops that must linearize before op i.
+        pred = [0] * n
+        for i, a in enumerate(chunk):
+            for j, b in enumerate(chunk):
+                if i != j and b.completed_at < a.invoked_at:
+                    pred[i] |= 1 << j
+        required = 0
+        for i, op in enumerate(chunk):
+            if not (op.pending and op.op_type is OpType.WRITE):
+                required |= 1 << i
+
+        start_states = {(0, value) for value in initial_values}
+        seen: set[tuple[int, Optional[bytes]]] = set(start_states)
+        stack = list(start_states)
+        final_values: set[Optional[bytes]] = set()
+        success = False
+        while stack:
+            done, value = stack.pop()
+            if done & required == required:
+                # Pending writes (completed_at = inf) keep the chunk
+                # open to the end of the history, so any state covering
+                # ``required`` is a complete linearization of the chunk.
+                success = True
+                final_values.add(value)
+            for i in range(n):
+                bit = 1 << i
+                if done & bit or pred[i] & ~done:
+                    continue
+                op = chunk[i]
+                if op.op_type is OpType.READ and op.value != value:
+                    continue
+                next_value = (
+                    op.value if op.op_type is OpType.WRITE else value
+                )
+                state = (done | bit, next_value)
+                if state not in seen:
+                    if len(seen) >= self._max_states:
+                        raise SearchBudgetExceeded(
+                            f"linearizability search exceeded "
+                            f"{self._max_states} states on a chunk of "
+                            f"{n} operations"
+                        )
+                    seen.add(state)
+                    stack.append(state)
+        if not success:
+            return None
+        return frozenset(final_values)
+
+    @staticmethod
+    def _diagnose(
+        object_id: ObjectId,
+        chunk: list[_LinOp],
+        initial_values: frozenset[Optional[bytes]],
+    ) -> Violation:
+        start = min(op.invoked_at for op in chunk)
+        end = max(
+            op.completed_at
+            for op in chunk
+            if op.completed_at != float("inf")
+        )
+        reads = sum(1 for op in chunk if op.op_type is OpType.READ)
+        writes = len(chunk) - reads
+        return Violation(
+            kind="non-linearizable",
+            object_id=object_id,
+            description=(
+                f"no linearization exists for the {len(chunk)} operations "
+                f"({reads} reads, {writes} writes) in "
+                f"[{start:.4f}, {end:.4f}] given possible initial "
+                f"values {sorted(map(repr, initial_values))}"
+            ),
+        )

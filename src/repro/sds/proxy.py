@@ -444,7 +444,7 @@ class ProxyNode(Node):
         if self.stats is not None:
             self.stats.set_optimized(frozenset(self._current_plan.overrides))
 
-    # -- Algorithm 1: monitoring hooks --------------------------------------------------
+    # -- Algorithm 1: monitoring hooks ---------------------------------------
 
     def _on_new_round(self, envelope: Envelope) -> None:
         message: NewRound = envelope.payload

@@ -75,7 +75,7 @@ class QuorumPlan:
         """
         default = self.default.transition_with(other.default)
         overrides: dict[ObjectId, QuorumConfig] = {}
-        for object_id in set(self.overrides) | set(other.overrides):
+        for object_id in sorted(set(self.overrides) | set(other.overrides)):
             overrides[object_id] = self.quorum_for(object_id).transition_with(
                 other.quorum_for(object_id)
             )

@@ -93,7 +93,8 @@ class SyntheticWorkload(Workload):
         spec = self.spec
         if spec.size_sigma == 0 or spec.object_size == 0:
             return spec.object_size
-        return max(1, round(rng.lognormvariate(0.0, spec.size_sigma) * spec.object_size))
+        scale = rng.lognormvariate(0.0, spec.size_sigma)
+        return max(1, round(scale * spec.object_size))
 
     def object_ids(self) -> list[ObjectId]:
         return list(self._object_ids)

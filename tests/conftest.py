@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+# The qlint plugin makes every full tier-1 run gate on the protocol
+# invariants (determinism + strict quorum intersection); ``pytester``
+# is the stock pytest fixture qlint's own plugin tests run under.
+pytest_plugins = ("repro.qlint.pytest_plugin", "pytester")
+
 from repro.common.config import ClusterConfig, NetworkConfig, StorageConfig
 from repro.common.types import QuorumConfig
 from repro.sds.cluster import SwiftCluster

@@ -62,6 +62,9 @@ class TestFullStackSafety:
         assert rm.reconfigurations_completed >= 1
         assert len(checker.records) > 2000
         checker.assert_consistent()
+        # The full Wing-Gong search: this history is not just regular
+        # but atomic — the freshest-stamp read rule linearizes it.
+        checker.assert_linearizable()
 
     def test_qopt_consistent_across_workload_switch(self):
         cluster = SwiftCluster(cluster_config(), seed=22)
@@ -86,6 +89,7 @@ class TestFullStackSafety:
         )
         cluster.run(14.0)
         checker.assert_consistent()
+        checker.assert_linearizable()
 
     def test_qopt_survives_proxy_crash_mid_optimization(self):
         cluster = SwiftCluster(cluster_config(write=5), seed=23)
@@ -111,6 +115,7 @@ class TestFullStackSafety:
         # Optimization still happened after the crash.
         assert manager.fine_reconfigurations >= 1
         checker.assert_consistent()
+        checker.assert_linearizable()
 
 
 class TestFullStackBehaviour:

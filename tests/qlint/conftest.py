@@ -1,0 +1,33 @@
+"""Shared helper: lint a source snippet written to a temp tree."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.qlint.findings import Finding
+from repro.qlint.runner import run_suite
+
+
+@pytest.fixture
+def lint(tmp_path: Path):
+    """Write ``code`` to a file and run the full suite over it."""
+
+    def _lint(
+        code: str,
+        name: str = "snippet.py",
+        select: Optional[Sequence[str]] = None,
+    ) -> list[Finding]:
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+        return run_suite(paths=[path], select=select)
+
+    return _lint
+
+
+def rules_of(findings: Sequence[Finding]) -> list[str]:
+    return [finding.rule for finding in findings]

@@ -1,0 +1,257 @@
+"""QD001-QD004: the determinism contract, rule by rule."""
+
+from __future__ import annotations
+
+from tests.qlint.conftest import rules_of
+
+
+class TestUnseededRandomness:
+    def test_module_level_random_call_flagged(self, lint):
+        findings = lint(
+            """
+            import random
+
+            jitter = random.random()
+            """
+        )
+        assert rules_of(findings) == ["QD001"]
+
+    def test_from_import_resolved_to_random(self, lint):
+        findings = lint(
+            """
+            from random import shuffle
+
+            def scramble(items):
+                shuffle(items)
+            """
+        )
+        assert rules_of(findings) == ["QD001"]
+
+    def test_numpy_global_draw_flagged(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            noise = np.random.normal(0.0, 1.0)
+            """
+        )
+        assert rules_of(findings) == ["QD001"]
+
+    def test_seeded_constructor_allowed(self, lint):
+        findings = lint(
+            """
+            import random
+
+            import numpy as np
+
+            stream = random.Random(42)
+            generator = np.random.default_rng(7)
+            """
+        )
+        assert findings == []
+
+    def test_bare_constructor_flagged(self, lint):
+        findings = lint(
+            """
+            import numpy as np
+
+            generator = np.random.default_rng()
+            """
+        )
+        assert rules_of(findings) == ["QD001"]
+
+    def test_entropy_sources_flagged(self, lint):
+        findings = lint(
+            """
+            import os
+            import uuid
+
+            token = os.urandom(16)
+            request_id = uuid.uuid4()
+            """
+        )
+        assert rules_of(findings) == ["QD001", "QD001"]
+
+    def test_rng_sanctuary_exempt(self, lint):
+        findings = lint(
+            """
+            import random
+
+            _bootstrap = random.Random()
+            """,
+            name="common/rng.py",
+        )
+        assert findings == []
+
+    def test_pragma_suppresses_one_line(self, lint):
+        findings = lint(
+            """
+            import random
+
+            a = random.random()  # qlint: ok QD001
+            b = random.random()
+            """
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint):
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules_of(findings) == ["QD002"]
+
+    def test_datetime_now_flagged(self, lint):
+        findings = lint(
+            """
+            from datetime import datetime
+
+            started = datetime.now()
+            """
+        )
+        assert rules_of(findings) == ["QD002"]
+
+    def test_wall_clock_not_exempt_even_in_sanctuary(self, lint):
+        findings = lint(
+            """
+            import time
+
+            seed = time.time_ns()
+            """,
+            name="common/rng.py",
+        )
+        assert rules_of(findings) == ["QD002"]
+
+    def test_sim_now_is_fine(self, lint):
+        findings = lint(
+            """
+            def deadline(sim):
+                return sim.now + 1.0
+            """
+        )
+        assert findings == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal(self, lint):
+        findings = lint(
+            """
+            for node in {"a", "b", "c"}:
+                print(node)
+            """
+        )
+        assert rules_of(findings) == ["QD003"]
+
+    def test_for_over_set_algebra(self, lint):
+        findings = lint(
+            """
+            def merge(old, new):
+                for key in set(old) | set(new):
+                    yield key
+            """
+        )
+        assert rules_of(findings) == ["QD003"]
+
+    def test_comprehension_over_set_call(self, lint):
+        findings = lint(
+            """
+            def ids(records):
+                return [r.id for r in set(records)]
+            """
+        )
+        assert rules_of(findings) == ["QD003"]
+
+    def test_set_valued_variable_tracked(self, lint):
+        findings = lint(
+            """
+            def drain(items):
+                pending = set(items)
+                for item in pending:
+                    yield item
+            """
+        )
+        assert rules_of(findings) == ["QD003"]
+
+    def test_sorted_wrapper_is_fine(self, lint):
+        findings = lint(
+            """
+            def merge(old, new):
+                for key in sorted(set(old) | set(new)):
+                    yield key
+            """
+        )
+        assert findings == []
+
+    def test_dict_iteration_is_fine(self, lint):
+        findings = lint(
+            """
+            def walk(table):
+                for key, value in table.items():
+                    yield key, value
+            """
+        )
+        assert findings == []
+
+    def test_order_preserving_wrapper_recursed(self, lint):
+        findings = lint(
+            """
+            def walk(nodes):
+                for i, node in enumerate(set(nodes)):
+                    yield i, node
+            """
+        )
+        assert rules_of(findings) == ["QD003"]
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged(self, lint):
+        findings = lint(
+            """
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+            """
+        )
+        assert rules_of(findings) == ["QD004"]
+
+    def test_dict_call_default_flagged(self, lint):
+        findings = lint(
+            """
+            def tally(counts=dict()):
+                return counts
+            """
+        )
+        assert rules_of(findings) == ["QD004"]
+
+    def test_kwonly_default_flagged(self, lint):
+        findings = lint(
+            """
+            def record(*, sink={}):
+                return sink
+            """
+        )
+        assert rules_of(findings) == ["QD004"]
+
+    def test_none_default_is_fine(self, lint):
+        findings = lint(
+            """
+            def collect(item, acc=None):
+                acc = [] if acc is None else acc
+                acc.append(item)
+                return acc
+            """
+        )
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_ql000(self, lint):
+        findings = lint("def broken(:\n")
+        assert rules_of(findings) == ["QL000"]
