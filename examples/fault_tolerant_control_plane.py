@@ -3,8 +3,11 @@
 The paper's managers are presented as logically centralized, with the
 remark that standard replication makes them fault-tolerant.  This
 example deploys Q-OPT with a 3-replica primary-backup Reconfiguration
-Manager, crashes the primary *in the middle of a reconfiguration*, and
-shows the backup finishing the job while clients keep running.
+Manager and uses the nemesis fault driver to crash the primary *inside
+the two-phase window of a reconfiguration* — the crash is armed on the
+RM's ``on_reconfiguration_started`` hook, so it lands between NEWQ and
+CONFIRM rather than at an arbitrary time.  The backup takes over and
+finishes the job while clients keep running.
 
 Run with::
 
@@ -20,6 +23,7 @@ from repro import (
     ycsb,
 )
 from repro.sds.consistency import HistoryChecker
+from repro.sim.nemesis import Nemesis
 
 
 def main() -> None:
@@ -55,9 +59,17 @@ def main() -> None:
           f"{cluster.log.throughput(3, 5):5.0f} ops/s  "
           f"primary={group.primary.node_id}")
 
-    print("\ncrashing the RM primary mid-flight...")
-    group.crash_primary()
+    victim = group.primary
+    print(f"\narming nemesis: crash {victim.node_id} mid-reconfiguration...")
+    nemesis = Nemesis.for_cluster(cluster, seed=13)
+    # Fires 50 ms after the primary's next NEWQ broadcast, i.e. between
+    # the two phases of Algorithm 2.  The timed crash is a fallback in
+    # case the workload goes quiet (firing is idempotent).
+    nemesis.crash_on_reconfiguration(victim, victim.node_id, delay=0.05)
+    nemesis.schedule_crash(cluster.sim.now + 5.0, victim.node_id)
     cluster.run(10.0)
+    crash = next(f for f in nemesis.faults if f.kind == "crash")
+    print(f"  t={crash.time:4.1f}s  nemesis crashed {crash.target}")
     primary = group.primary
     print(f"  t={cluster.sim.now:4.1f}s  new primary: {primary.node_id} "
           f"(takeovers: {primary.takeovers})")

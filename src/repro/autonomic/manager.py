@@ -137,6 +137,7 @@ class AutonomicManager(Node):
         replication_degree: int,
         initial_default: QuorumConfig,
         suspect_poll_interval: float = 0.05,
+        retransmit_interval: float = 0.5,
     ) -> None:
         super().__init__(
             sim, network, NodeId.singleton(NodeKind.AUTONOMIC_MANAGER)
@@ -158,6 +159,10 @@ class AutonomicManager(Node):
         self.config = config.validate(replication_degree)
         self._replication_degree = replication_degree
         self._poll = suspect_poll_interval
+        # Requests whose reply never arrives (lost message, lost reply)
+        # are re-sent at this cadence; every peer handles duplicates.
+        self._retransmit = max(retransmit_interval, suspect_poll_interval)
+        self.retransmissions = 0
 
         # Local view of what is installed.
         self._installed_default = initial_default
@@ -310,7 +315,9 @@ class AutonomicManager(Node):
         self._round_no += 1
         self.rounds_executed += 1
         self._round_reports = {}
-        self._broadcast_proxies(NewRound(round_no=self._round_no))
+        message = NewRound(round_no=self._round_no)
+        self._broadcast_proxies(message)
+        since_send = 0.0
         while True:
             missing = [
                 proxy
@@ -322,27 +329,47 @@ class AutonomicManager(Node):
             if all(self._detector.suspect(proxy) for proxy in missing):
                 break
             yield self.sim.sleep(self._poll)
+            since_send += self._poll
+            if since_send >= self._retransmit:
+                # A lost NEWROUND (or lost ROUNDSTATS) must not wedge the
+                # control loop; proxies answer duplicates from a cached
+                # report, so retransmitting is safe.
+                since_send = 0.0
+                for proxy in missing:
+                    if self._detector.suspect(proxy):
+                        continue
+                    self.retransmissions += 1
+                    self.send(proxy, message, size=_CONTROL_BYTES)
         return list(self._round_reports.values())
 
     def _ask_oracle(self, object_stats: list[ObjectStats]) -> Iterator:
         round_no = self._round_no
-        self.send(
-            self._oracle,
-            NewStats(round_no=round_no, stats=tuple(object_stats)),
-            size=_CONTROL_BYTES + 64 * len(object_stats),
-        )
+        message = NewStats(round_no=round_no, stats=tuple(object_stats))
+        size = _CONTROL_BYTES + 64 * len(object_stats)
+        self.send(self._oracle, message, size=size)
+        since_send = 0.0
         while round_no not in self._oracle_replies:
             yield self.sim.sleep(self._poll)
+            since_send += self._poll
+            if since_send >= self._retransmit:
+                since_send = 0.0
+                self.retransmissions += 1
+                self.send(self._oracle, message, size=size)
         reply = self._oracle_replies.pop(round_no)
         return dict(reply.quorums)
 
     def _ask_oracle_tail(self, tail_stats: AggregateStats) -> Iterator:
         self._tail_reply = None
-        self.send(
-            self._oracle, TailStats(stats=tail_stats), size=_CONTROL_BYTES
-        )
+        message = TailStats(stats=tail_stats)
+        self.send(self._oracle, message, size=_CONTROL_BYTES)
+        since_send = 0.0
         while self._tail_reply is None:
             yield self.sim.sleep(self._poll)
+            since_send += self._poll
+            if since_send >= self._retransmit:
+                since_send = 0.0
+                self.retransmissions += 1
+                self.send(self._oracle, message, size=_CONTROL_BYTES)
         return self._tail_reply.quorum
 
     def _current_rm(self) -> NodeId:
@@ -352,17 +379,32 @@ class AutonomicManager(Node):
                 return target
         return self._rm_targets[-1]
 
-    def _request_reconfiguration(self, payload, size: int) -> Iterator:
+    def _request_reconfiguration(
+        self, payload, size: int, expected_round: int
+    ) -> Iterator:
         """Send a reconfiguration request, failing over between RM
-        replicas until an ACKREC arrives."""
+        replicas — and retransmitting to an unsuspected one — until the
+        matching ACKREC arrives.  ``expected_round`` filters out stale
+        acks from duplicate earlier requests (fine rounds use their round
+        number, coarse requests use -1)."""
         self._ack_rec = None
         target = self._current_rm()
         self.send(target, payload, size=size)
-        while self._ack_rec is None:
+        since_send = 0.0
+        while (
+            self._ack_rec is None
+            or self._ack_rec.round_no != expected_round
+        ):
             yield self.sim.sleep(self._poll)
+            since_send += self._poll
             fresh = self._current_rm()
             if fresh != target:
                 target = fresh
+                since_send = 0.0
+                self.send(target, payload, size=size)
+            elif since_send >= self._retransmit:
+                since_send = 0.0
+                self.retransmissions += 1
                 self.send(target, payload, size=size)
 
     def _fine_reconfigure(
@@ -371,6 +413,7 @@ class AutonomicManager(Node):
         yield from self._request_reconfiguration(
             FineRec(round_no=self._round_no, quorums=dict(quorums)),
             size=_CONTROL_BYTES + 32 * len(quorums),
+            expected_round=self._round_no,
         )
         self._installed_overrides.update(quorums)
         self.fine_reconfigurations += 1
@@ -378,7 +421,8 @@ class AutonomicManager(Node):
 
     def _coarse_reconfigure(self, quorum: QuorumConfig) -> Iterator:
         yield from self._request_reconfiguration(
-            CoarseRec(quorum=quorum), size=_CONTROL_BYTES
+            CoarseRec(quorum=quorum), size=_CONTROL_BYTES,
+            expected_round=-1,
         )
         self._installed_default = quorum
         self.coarse_reconfigurations += 1

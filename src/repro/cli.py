@@ -128,7 +128,7 @@ def _cmd_predict(args: argparse.Namespace) -> str:
 
 COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "figure2": (_cmd_figure2, "E1: Figure 2 — throughput per quorum config"),
-    "figure3": (_cmd_figure3, "E2: Figure 3 — optimal W vs write %"),
+    "figure3": (_cmd_figure3, "E2: Figure 3 — optimal W vs write %%"),
     "tuning-impact": (_cmd_tuning_impact, "E3: up-to-5x tuning impact"),
     "oracle-accuracy": (_cmd_oracle, "E4: oracle cross-validation"),
     "qopt-vs-static": (_cmd_qopt_vs_static, "E5: Q-OPT vs static configs"),

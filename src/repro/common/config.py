@@ -114,6 +114,14 @@ class ProxyConfig:
     #: remaining replicas (Section 2.1 "if ... some replies are missing,
     #: the request is sent to the remaining replicas"), seconds.
     fallback_timeout: float = 0.5
+    #: Hard deadline for one quorum gather, seconds.  Once it expires the
+    #: gather resolves with a typed timeout instead of blocking forever —
+    #: a crashed or partitioned quorum can no longer wedge an operation.
+    gather_deadline: float = 1.5
+    #: Quorum-gather attempts per operation.  After a gather deadline the
+    #: proxy retries against the next ring rotation (a different replica
+    #: preference order), then surfaces ``GatherTimeoutError``.
+    max_gather_attempts: int = 3
 
     def validate(self) -> "ProxyConfig":
         if self.per_replica_cpu < 0:
@@ -122,7 +130,69 @@ class ProxyConfig:
             raise ConfigurationError("concurrency must be >= 1")
         if self.fallback_timeout <= 0:
             raise ConfigurationError("fallback_timeout must be > 0")
+        if self.gather_deadline <= self.fallback_timeout:
+            raise ConfigurationError(
+                "gather_deadline must exceed fallback_timeout "
+                f"({self.gather_deadline} <= {self.fallback_timeout})"
+            )
+        if self.max_gather_attempts < 1:
+            raise ConfigurationError("max_gather_attempts must be >= 1")
         return self
+
+    def operation_deadline(self) -> float:
+        """Upper bound on the time a proxy spends on one operation's
+        quorum gathers before surfacing a typed error."""
+        return self.gather_deadline * self.max_gather_attempts
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Deadline and retry/backoff policy of one client thread.
+
+    A client attempt that receives no reply within ``attempt_timeout``
+    is abandoned; the operation is retried (bounded exponential backoff
+    with seeded jitter, so retry storms from many clients decorrelate
+    deterministically) up to ``max_attempts`` times, after which the
+    operation fails with ``RetriesExhaustedError``.  Every operation
+    therefore resolves — success or typed error — within
+    :meth:`deadline_bound` simulated seconds.
+    """
+
+    #: Per-attempt reply deadline, seconds.  Must cover the proxy's own
+    #: retry budget plus round trips for the fault-free path to win.
+    attempt_timeout: float = 6.0
+    #: Total attempts (first try + retries).
+    max_attempts: int = 3
+    #: First backoff, seconds; attempt ``i`` backs off ``base * 2**i``.
+    backoff_base: float = 0.05
+    #: Backoff ceiling, seconds.
+    backoff_cap: float = 1.0
+    #: Uniform jitter added to each backoff, as a fraction of it.
+    backoff_jitter: float = 0.5
+
+    def validate(self) -> "ClientConfig":
+        if self.attempt_timeout <= 0:
+            raise ConfigurationError("attempt_timeout must be > 0")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigurationError("backoff_cap must be >= backoff_base")
+        if self.backoff_jitter < 0:
+            raise ConfigurationError("backoff_jitter must be >= 0")
+        return self
+
+    def backoff(self, retry_index: int) -> float:
+        """Deterministic part of the ``retry_index``-th backoff."""
+        return min(self.backoff_cap, self.backoff_base * (2**retry_index))
+
+    def deadline_bound(self) -> float:
+        """Worst-case time until an operation succeeds or fails typed."""
+        total = self.max_attempts * self.attempt_timeout
+        for retry_index in range(self.max_attempts - 1):
+            total += self.backoff(retry_index) * (1.0 + self.backoff_jitter)
+        return total
 
 
 @dataclass(frozen=True)
@@ -143,6 +213,7 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     proxy: ProxyConfig = field(default_factory=ProxyConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
 
     def validate(self) -> "ClusterConfig":
         if self.num_storage_nodes < 1:
@@ -167,6 +238,7 @@ class ClusterConfig:
         self.network.validate()
         self.storage.validate()
         self.proxy.validate()
+        self.client.validate()
         return self
 
     def with_quorum(self, quorum: QuorumConfig) -> "ClusterConfig":

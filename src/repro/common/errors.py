@@ -37,6 +37,46 @@ class NodeCrashedError(SimulationError):
     """An operation was attempted on a node that has crashed."""
 
 
+class OperationError(ReproError):
+    """A client-visible request-path failure.
+
+    Unlike :class:`ProtocolError` (an invariant violation, i.e. a bug),
+    an :class:`OperationError` is an *expected* outcome under faults: the
+    operation could not be completed before its deadline and the caller
+    is told so instead of waiting forever.  Every operation either
+    succeeds or raises a subclass of this error within a bounded time.
+    """
+
+
+class OperationTimeoutError(OperationError):
+    """An operation exceeded its end-to-end deadline."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        object_id: str = "",
+        elapsed: float = 0.0,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.object_id = object_id
+        self.elapsed = elapsed
+        self.attempts = attempts
+
+
+class GatherTimeoutError(OperationTimeoutError):
+    """A proxy could not assemble a quorum before its gather deadline.
+
+    Raised after the proxy has exhausted its fallback (contacting the
+    remaining replicas, Section 2.1) and its ring-rotation retries.
+    """
+
+
+class RetriesExhaustedError(OperationTimeoutError):
+    """A client gave up after its bounded retry/backoff budget."""
+
+
 class ProtocolError(ReproError):
     """A replication or reconfiguration protocol invariant was violated."""
 

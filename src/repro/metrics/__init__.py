@@ -6,14 +6,22 @@ from repro.metrics.collector import (
     OperationLog,
     percentile,
 )
-from repro.metrics.timeline import DipStatistics, Timeline, TimelinePoint
+from repro.metrics.timeline import (
+    DipStatistics,
+    EventTimeline,
+    Timeline,
+    TimelineEvent,
+    TimelinePoint,
+)
 
 __all__ = [
     "DipStatistics",
+    "EventTimeline",
     "LatencySummary",
     "MovingAverage",
     "OperationLog",
     "Timeline",
+    "TimelineEvent",
     "TimelinePoint",
     "percentile",
 ]

@@ -1,17 +1,86 @@
-"""Binned time-series for throughput timelines.
+"""Binned time-series for throughput timelines, and the event timeline.
 
 Experiment E6 (reconfiguration overhead) and E7 (dynamic adaptation) plot
 throughput against time; :class:`Timeline` turns an :class:`OperationLog`
 into evenly-binned series and computes the dip/recovery statistics the
 paper's "negligible throughput penalties" claim is about.
+
+:class:`EventTimeline` is the audit log of a chaos run: every fault the
+nemesis injects and every timeout/retry/failure the data plane takes is
+recorded as a :class:`TimelineEvent`, in simulated-time order.  Because
+the simulator is deterministic for a fixed seed, rerunning a nemesis
+schedule must reproduce the event log bit for bit —
+:meth:`EventTimeline.signature` is the canonical form chaos tests
+compare.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.common.errors import SimulationError
 from repro.metrics.collector import OperationLog
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One timestamped occurrence in a simulation run."""
+
+    #: Simulated time of the event.
+    time: float
+    #: Event family: ``"nemesis"`` for injected faults, ``"proxy"`` /
+    #: ``"client"`` for data-plane degradation events, etc.
+    category: str
+    #: Short machine-readable label (``"partition"``, ``"gather-timeout"``,
+    #: ``"retry"``, ...).
+    label: str
+    #: Free-form target/context description.
+    detail: str = ""
+
+    def as_tuple(self) -> tuple[float, str, str, str]:
+        return (self.time, self.category, self.label, self.detail)
+
+
+class EventTimeline:
+    """Append-only, simulated-time-ordered log of notable events."""
+
+    def __init__(self) -> None:
+        self._events: list[TimelineEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self._events)
+
+    def record(
+        self, time: float, category: str, label: str, detail: str = ""
+    ) -> TimelineEvent:
+        """Append one event (events must arrive in time order)."""
+        if self._events and time < self._events[-1].time:
+            raise SimulationError(
+                f"event at t={time} recorded after t={self._events[-1].time}"
+            )
+        event = TimelineEvent(
+            time=time, category=category, label=label, detail=detail
+        )
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[TimelineEvent]:
+        return list(self._events)
+
+    def of_category(self, category: str) -> list[TimelineEvent]:
+        return [e for e in self._events if e.category == category]
+
+    def of_label(self, label: str) -> list[TimelineEvent]:
+        return [e for e in self._events if e.label == label]
+
+    def signature(self) -> tuple[tuple[float, str, str, str], ...]:
+        """Canonical tuple form, for run-to-run reproducibility asserts."""
+        return tuple(event.as_tuple() for event in self._events)
 
 
 @dataclass(frozen=True)

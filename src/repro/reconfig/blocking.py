@@ -13,7 +13,7 @@ difference.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Generator, Iterator
 
 from repro.common.types import NodeId, QuorumConfig
 from repro.sds.messages import (
@@ -25,10 +25,13 @@ from repro.sds.messages import (
 )
 from repro.sds.quorum import QuorumPlan
 from repro.sim.failure import FailureDetector
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Future, Process, Simulator
 from repro.sim.network import Envelope, Network
 from repro.sim.node import Node
 from repro.sim.primitives import Mutex
+
+if TYPE_CHECKING:
+    from repro.sds.cluster import SwiftCluster
 
 _CONTROL_BYTES = 512
 
@@ -75,13 +78,15 @@ class BlockingReconfigurationManager(Node):
     def cfg_no(self) -> int:
         return self._cfg_no
 
-    def change_global(self, quorum: QuorumConfig):
+    def change_global(self, quorum: QuorumConfig) -> Process:
         return self.spawn(
             self.change_plan_body(QuorumPlan.uniform(quorum)),
             name=f"{self.node_id}.reconfig",
         )
 
-    def change_plan_body(self, new_plan: QuorumPlan) -> Iterator:
+    def change_plan_body(
+        self, new_plan: QuorumPlan
+    ) -> Generator[Future, Any, int]:
         new_plan.validate_strict(self._replication_degree)
         yield self._mutex.acquire()
         try:
@@ -118,7 +123,7 @@ class BlockingReconfigurationManager(Node):
         finally:
             self._mutex.release()
 
-    def _await(self, acks: set[NodeId]) -> Iterator:
+    def _await(self, acks: set[NodeId]) -> Iterator[Future]:
         while True:
             missing = [p for p in self._proxies if p not in acks]
             if not missing:
@@ -137,7 +142,9 @@ class BlockingReconfigurationManager(Node):
         self._confirm_acks.add(ack.proxy)
 
 
-def attach_blocking_manager(cluster) -> BlockingReconfigurationManager:
+def attach_blocking_manager(
+    cluster: "SwiftCluster",
+) -> BlockingReconfigurationManager:
     """Create, register and start a blocking RM for a cluster."""
     manager = BlockingReconfigurationManager(
         cluster.sim,

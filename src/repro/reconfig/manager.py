@@ -28,7 +28,16 @@ terminates given the assumed eventually-perfect failure detector.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Generator,
+    Iterator,
+    Mapping,
+    Optional,
+    Union,
+)
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId, NodeKind, ObjectId, QuorumConfig
@@ -45,13 +54,19 @@ from repro.sds.messages import (
 )
 from repro.sds.quorum import QuorumPlan
 from repro.sim.failure import FailureDetector
-from repro.sim.kernel import Future, Simulator
+from repro.sim.kernel import Future, Process, Simulator
 from repro.sim.network import Envelope, Network
 from repro.sim.node import Node
-from repro.sim.primitives import Mutex
+from repro.sim.primitives import Mutex, any_of
+
+if TYPE_CHECKING:
+    from repro.sds.cluster import SwiftCluster
 
 #: Size of control-plane messages on the wire, bytes.
 _CONTROL_BYTES = 512
+
+#: The two retransmittable phase messages of Algorithm 2.
+_PhaseMessage = Union[NewQuorum, Confirm]
 
 
 class ReconfigurationManager(Node):
@@ -68,6 +83,7 @@ class ReconfigurationManager(Node):
         initial_plan: QuorumPlan,
         replication_degree: int,
         suspect_poll_interval: float = 0.05,
+        retransmit_interval: float = 0.5,
         node_id: Optional[NodeId] = None,
     ) -> None:
         super().__init__(
@@ -84,6 +100,12 @@ class ReconfigurationManager(Node):
         self._detector = detector
         self._replication_degree = replication_degree
         self._poll = suspect_poll_interval
+        # NEWQ/CONFIRM/NEWEP are retransmitted to unresponsive,
+        # unsuspected nodes at this cadence: under message loss the
+        # two-phase protocol would otherwise wait forever on an ack whose
+        # request (or reply) was dropped.  All three messages are
+        # idempotent at their receivers.
+        self._retransmit = max(retransmit_interval, suspect_poll_interval)
 
         # Algorithm 2 state.
         self._epoch_no = 0
@@ -97,9 +119,18 @@ class ReconfigurationManager(Node):
         self._epoch_acks: dict[int, set[NodeId]] = {}
         self._epoch_waiters: dict[int, tuple[int, Future]] = {}
 
+        # Duplicate suppression for retransmitted AM requests.
+        self._acked_fine_round = 0
+        self._fine_in_progress: set[int] = set()
+        self._coarse_in_progress: Optional[QuorumConfig] = None
+
         # Observability.
         self.reconfigurations_completed = 0
         self.epoch_changes = 0
+        self.retransmissions = 0
+        self._started_callbacks: list[
+            Callable[[int, QuorumPlan], None]
+        ] = []
 
         self.register_handler(AckNewQuorum, self._on_ack_newq)
         self.register_handler(AckConfirm, self._on_ack_confirm)
@@ -127,7 +158,7 @@ class ReconfigurationManager(Node):
 
     # -- public API (the "Manual Reconfiguration" arrow of Figure 4) -----------
 
-    def change_configuration(self, plan: QuorumPlan):
+    def change_configuration(self, plan: QuorumPlan) -> Process:
         """Install a new quorum plan; returns the coordinating process.
 
         Callers inside the simulation ``yield`` the returned process to
@@ -140,11 +171,21 @@ class ReconfigurationManager(Node):
             name=f"{self.node_id}.reconfig-{self._cfg_no + 1}",
         )
 
-    def change_global(self, quorum: QuorumConfig):
+    def change_global(self, quorum: QuorumConfig) -> Process:
         """Install a uniform plan (the Section 5.2 global protocol)."""
         return self.change_configuration(QuorumPlan.uniform(quorum))
 
-    def change_overrides(self, overrides: Mapping[ObjectId, QuorumConfig]):
+    def on_reconfiguration_started(
+        self, callback: Callable[[int, QuorumPlan], None]
+    ) -> None:
+        """Register ``callback(cfg_no, plan)`` for the start of every
+        reconfiguration — the hook nemesis schedules use to land crashes
+        inside the two-phase window."""
+        self._started_callbacks.append(callback)
+
+    def change_overrides(
+        self, overrides: Mapping[ObjectId, QuorumConfig]
+    ) -> Process:
         """Install per-object overrides on top of the current plan."""
         updates = dict(overrides)
         return self.spawn(
@@ -152,7 +193,7 @@ class ReconfigurationManager(Node):
             name=f"{self.node_id}.reconfig-overrides",
         )
 
-    def change_default(self, quorum: QuorumConfig):
+    def change_default(self, quorum: QuorumConfig) -> Process:
         """Change only the tail (default) configuration."""
         return self.spawn(
             self._reconfigure(lambda current: current.with_default(quorum)),
@@ -161,12 +202,16 @@ class ReconfigurationManager(Node):
 
     # -- Algorithm 2 ------------------------------------------------------------
 
-    def change_plan_body(self, new_plan: QuorumPlan) -> Iterator:
+    def change_plan_body(
+        self, new_plan: QuorumPlan
+    ) -> Generator[Future, Any, int]:
         """The changeConfiguration procedure (Algorithm 2 lines 5-21)."""
         result = yield from self._reconfigure(lambda _current: new_plan)
         return result
 
-    def _reconfigure(self, build_plan) -> Iterator:
+    def _reconfigure(
+        self, build_plan: Callable[[QuorumPlan], QuorumPlan]
+    ) -> Generator[Future, Any, int]:
         """Serialized reconfiguration; the new plan is derived from the
         plan current *at lock-acquisition time* so queued reconfigurations
         compose instead of clobbering each other."""
@@ -180,13 +225,18 @@ class ReconfigurationManager(Node):
             # Hook for fault-tolerant subclasses: persist the intent
             # before any proxy observes the new configuration.
             self._on_plan_chosen(cfg_no, new_plan)
+            for callback in list(self._started_callbacks):
+                callback(cfg_no, new_plan)
 
             # Phase 1: NEWQ -> proxies move to the transition quorum.
             self._newq_acks = set()
-            self._broadcast_proxies(
-                NewQuorum(epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan)
+            newq = NewQuorum(
+                epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan
             )
-            all_acked = yield from self._await_proxy_acks(self._newq_acks)
+            self._broadcast_proxies(newq)
+            all_acked = yield from self._await_proxy_acks(
+                self._newq_acks, newq
+            )
             if not all_acked:
                 # Line 12-14: a proxy is suspected — fence the old epoch.
                 transition = old_plan.transition_with(new_plan)
@@ -198,10 +248,13 @@ class ReconfigurationManager(Node):
 
             # Phase 2: CONFIRM -> proxies install the new quorum.
             self._confirm_acks = set()
-            self._broadcast_proxies(
-                Confirm(epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan)
+            confirm = Confirm(
+                epoch_no=self._epoch_no, cfg_no=cfg_no, plan=new_plan
             )
-            all_acked = yield from self._await_proxy_acks(self._confirm_acks)
+            self._broadcast_proxies(confirm)
+            all_acked = yield from self._await_proxy_acks(
+                self._confirm_acks, confirm
+            )
             if not all_acked:
                 # Line 18-19: fence again, now with the new quorum sizes.
                 yield from self._epoch_change(
@@ -225,13 +278,18 @@ class ReconfigurationManager(Node):
     ) -> None:
         """Subclass hook: the reconfiguration concluded successfully."""
 
-    def _await_proxy_acks(self, acks: set[NodeId]) -> Iterator:
+    def _await_proxy_acks(
+        self, acks: set[NodeId], payload: _PhaseMessage
+    ) -> Generator[Future, Any, bool]:
         """Wait until every proxy acked or is suspected.
 
         Returns True when *all* proxies acked, False when at least one is
         (possibly falsely) suspected — the caller must then trigger an
-        epoch change.
+        epoch change.  ``payload`` (the NEWQ or CONFIRM being awaited) is
+        retransmitted to missing, unsuspected proxies so a lost message
+        or lost ack delays the phase instead of wedging it.
         """
+        since_send = 0.0
         while True:
             missing = [
                 proxy for proxy in self._proxies if proxy not in acks
@@ -241,10 +299,18 @@ class ReconfigurationManager(Node):
             if all(self._detector.suspect(proxy) for proxy in missing):
                 return False
             yield self.sim.sleep(self._poll)
+            since_send += self._poll
+            if since_send >= self._retransmit:
+                since_send = 0.0
+                for proxy in missing:
+                    if proxy in acks or self._detector.suspect(proxy):
+                        continue
+                    self.retransmissions += 1
+                    self.send(proxy, payload, size=_CONTROL_BYTES)
 
     def _epoch_change(
         self, quorum: int, plan: QuorumPlan, cfg_no: int
-    ) -> Iterator:
+    ) -> Iterator[Future]:
         """The epochChange procedure (Algorithm 2 lines 22-25)."""
         self._epoch_no += 1
         self.epoch_changes += 1
@@ -252,13 +318,23 @@ class ReconfigurationManager(Node):
         self._epoch_acks[epoch_no] = set()
         done = self.sim.future(name=f"epoch-{epoch_no}.quorum")
         self._epoch_waiters[epoch_no] = (quorum, done)
+        message = NewEpoch(epoch_no=epoch_no, cfg_no=cfg_no, plan=plan)
         for node in self._storage_nodes:
-            self.send(
-                node,
-                NewEpoch(epoch_no=epoch_no, cfg_no=cfg_no, plan=plan),
-                size=_CONTROL_BYTES,
+            self.send(node, message, size=_CONTROL_BYTES)
+        # Storage nodes re-ack duplicate NEWEPs for adopted epochs, so
+        # retransmitting until an ack quorum forms tolerates lost NEWEPs
+        # and lost acks alike.
+        while not done.done:
+            yield any_of(
+                self.sim, [done, self.sim.sleep(self._retransmit)]
             )
-        yield done
+            if done.done:
+                break
+            for node in self._storage_nodes:
+                if node in self._epoch_acks[epoch_no]:
+                    continue
+                self.retransmissions += 1
+                self.send(node, message, size=_CONTROL_BYTES)
         del self._epoch_waiters[epoch_no]
         del self._epoch_acks[epoch_no]
 
@@ -288,11 +364,30 @@ class ReconfigurationManager(Node):
 
     # -- Autonomic Manager entry points (Algorithm 1 lines 12, 22) --------------------
 
-    def _on_fine_rec(self, envelope: Envelope) -> Iterator:
+    def _on_fine_rec(self, envelope: Envelope) -> Iterator[Future]:
         request: FineRec = envelope.payload
+        if request.round_no <= self._acked_fine_round:
+            # Already installed (the earlier ACKREC was lost): re-ack.
+            self.send(
+                envelope.sender,
+                AckRec(round_no=request.round_no),
+                size=_CONTROL_BYTES,
+            )
+            return
+        if request.round_no in self._fine_in_progress:
+            # Retransmitted while the original is still reconfiguring:
+            # the original will ack on completion.
+            return
+        self._fine_in_progress.add(request.round_no)
         updates = dict(request.quorums)
-        yield from self._reconfigure(
-            lambda current: current.with_overrides(updates)
+        try:
+            yield from self._reconfigure(
+                lambda current: current.with_overrides(updates)
+            )
+        finally:
+            self._fine_in_progress.discard(request.round_no)
+        self._acked_fine_round = max(
+            self._acked_fine_round, request.round_no
         )
         self.send(
             envelope.sender,
@@ -300,20 +395,29 @@ class ReconfigurationManager(Node):
             size=_CONTROL_BYTES,
         )
 
-    def _on_coarse_rec(self, envelope: Envelope) -> Iterator:
+    def _on_coarse_rec(self, envelope: Envelope) -> Iterator[Future]:
         request: CoarseRec = envelope.payload
-        yield from self._reconfigure(
-            lambda current: current.with_default(request.quorum)
-        )
+        if request.quorum == self._coarse_in_progress:
+            # Retransmitted duplicate of a running request: drop it.  If
+            # the eventual ack is lost too, a later retransmission will
+            # re-run the (idempotent) reconfiguration and re-ack.
+            return
+        self._coarse_in_progress = request.quorum
+        try:
+            yield from self._reconfigure(
+                lambda current: current.with_default(request.quorum)
+            )
+        finally:
+            self._coarse_in_progress = None
         self.send(envelope.sender, AckRec(round_no=-1), size=_CONTROL_BYTES)
 
-    def _broadcast_proxies(self, payload) -> None:
+    def _broadcast_proxies(self, payload: _PhaseMessage) -> None:
         for proxy in self._proxies:
             self.send(proxy, payload, size=_CONTROL_BYTES)
 
 
 def attach_reconfiguration_manager(
-    cluster, suspect_poll_interval: float = 0.05
+    cluster: "SwiftCluster", suspect_poll_interval: float = 0.05
 ) -> ReconfigurationManager:
     """Create, register and start an RM for a :class:`SwiftCluster`."""
     manager = ReconfigurationManager(

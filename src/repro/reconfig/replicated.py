@@ -35,15 +35,18 @@ monotone epochs, exactly like a stale proxy's operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId
 from repro.reconfig.manager import ReconfigurationManager, _CONTROL_BYTES
 from repro.sds.quorum import QuorumPlan
-from repro.sim.failure import FailureDetector
-from repro.sim.kernel import Simulator
+from repro.sim.failure import CrashManager, FailureDetector
+from repro.sim.kernel import Future, Simulator
 from repro.sim.network import Envelope, Network
+
+if TYPE_CHECKING:
+    from repro.sds.cluster import SwiftCluster
 
 
 @dataclass(frozen=True)
@@ -120,7 +123,7 @@ class ReplicatedRMMember(ReconfigurationManager):
                 self._monitor_primary(), name=f"{self.node_id}.monitor"
             )
 
-    def _monitor_primary(self) -> Iterator:
+    def _monitor_primary(self) -> Iterator[Future]:
         """Backup loop: take over when every better-ranked member died."""
         while self.alive and not self._is_primary:
             better = self._member_ids[: self._member_rank]
@@ -131,7 +134,7 @@ class ReplicatedRMMember(ReconfigurationManager):
                 return
             yield self.sim.sleep(self._poll)
 
-    def _take_over(self) -> Iterator:
+    def _take_over(self) -> Iterator[Future]:
         """Become primary and restore a consistent configuration."""
         self._is_primary = True
         self.takeovers += 1
@@ -183,28 +186,34 @@ class ReplicatedRMMember(ReconfigurationManager):
             ):
                 self._pending_intent = None
 
-    def _broadcast_members(self, payload) -> None:
+    def _broadcast_members(
+        self, payload: Union[IntentUpdate, StateUpdate]
+    ) -> None:
         for member in self._member_ids:
             if member != self.node_id:
                 self.send(member, payload, size=_CONTROL_BYTES)
 
     # -- request guards ----------------------------------------------------------
 
-    def _on_fine_rec(self, envelope: Envelope):
+    def _on_fine_rec(self, envelope: Envelope) -> Iterator[Future]:
         if not self._is_primary:
-            return None
+            return iter(())  # backups ignore AM requests
         return super()._on_fine_rec(envelope)
 
-    def _on_coarse_rec(self, envelope: Envelope):
+    def _on_coarse_rec(self, envelope: Envelope) -> Iterator[Future]:
         if not self._is_primary:
-            return None
+            return iter(())  # backups ignore AM requests
         return super()._on_coarse_rec(envelope)
 
 
 class ReplicatedReconfigurationManager:
     """Facade over a ranked group of RM replicas."""
 
-    def __init__(self, members: list[ReplicatedRMMember], crashes=None) -> None:
+    def __init__(
+        self,
+        members: list[ReplicatedRMMember],
+        crashes: Optional[CrashManager] = None,
+    ) -> None:
         if not members:
             raise ConfigurationError("need at least one RM member")
         self.members = members
@@ -237,7 +246,7 @@ class ReplicatedReconfigurationManager:
 
 
 def attach_replicated_manager(
-    cluster,
+    cluster: "SwiftCluster",
     replicas: int = 3,
     suspect_poll_interval: float = 0.05,
 ) -> ReplicatedReconfigurationManager:

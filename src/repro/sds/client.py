@@ -4,6 +4,18 @@ The paper's load generators are closed: each client thread "injects a new
 operation only after having received a reply for the previously submitted
 operation" with zero think time (Section 2.2).  One :class:`ClientNode`
 models one such thread, statically bound to a proxy.
+
+Under fault injection a reply may never come — the proxy crashed, the
+request or reply was lost, or the proxy itself gave up and answered
+:class:`~repro.sds.messages.ClientOperationFailed`.  Each operation
+therefore runs under a per-attempt deadline with bounded exponential
+backoff (seeded jitter) between attempts, and after
+``ClientConfig.max_attempts`` the operation surfaces a typed
+:class:`~repro.common.errors.RetriesExhaustedError` instead of hanging
+the closed loop forever.  Failed writes deliberately keep their
+``completed_at = inf`` invocation record: the write may still take
+effect later, and a linearizability checker must treat it as forever
+concurrent.
 """
 
 from __future__ import annotations
@@ -13,9 +25,13 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Protocol
 
+from repro.common.config import ClientConfig
+from repro.common.errors import OperationError, RetriesExhaustedError
 from repro.common.types import NodeId, OpType, VersionStamp, ZERO_STAMP
 from repro.metrics.collector import OperationLog
+from repro.metrics.timeline import EventTimeline
 from repro.sds.messages import (
+    ClientOperationFailed,
     ClientRead,
     ClientReadReply,
     ClientWrite,
@@ -24,6 +40,7 @@ from repro.sds.messages import (
 from repro.sim.kernel import Future, Simulator
 from repro.sim.network import Envelope, Network
 from repro.sim.node import Node
+from repro.sim.primitives import any_of
 
 #: Wire overhead of a request/reply beyond the object payload, bytes.
 _HEADER_BYTES = 256
@@ -79,6 +96,8 @@ class ClientNode(Node):
         log: OperationLog,
         think_time: float = 0.0,
         recorder: Optional[Callable[[OperationRecord], None]] = None,
+        policy: Optional[ClientConfig] = None,
+        events: Optional[EventTimeline] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._proxy_id = proxy_id
@@ -87,13 +106,23 @@ class ClientNode(Node):
         self._log = log
         self._think_time = think_time
         self._recorder = recorder
+        self._policy = (policy or ClientConfig()).validate()
+        self._events = events
         self._request_seq = itertools.count(1)
         self._pending: dict[int, Future] = {}
         self._issue_loop_started = False
         self.operations_issued = 0
+        self.operation_retries = 0
+        self.attempt_timeouts = 0
+        self.operations_failed = 0
+        #: Invocation time of the operation currently in flight (None when
+        #: the loop is between operations); chaos tests assert no client
+        #: sits on an operation longer than ``policy.deadline_bound()``.
+        self.inflight_since: Optional[float] = None
 
         self.register_handler(ClientReadReply, self._on_reply)
         self.register_handler(ClientWriteReply, self._on_reply)
+        self.register_handler(ClientOperationFailed, self._on_reply)
 
     @property
     def proxy_id(self) -> NodeId:
@@ -109,6 +138,7 @@ class ClientNode(Node):
         while self.alive:
             operation = self._workload.next_operation(self._rng)
             started_at = self.sim.now
+            self.inflight_since = started_at
             if (
                 self._recorder is not None
                 and operation.op_type is OpType.WRITE
@@ -126,7 +156,24 @@ class ClientNode(Node):
                         value=operation.value,
                     )
                 )
-            reply = yield self._issue(operation)
+            try:
+                reply = yield from self._perform(operation, started_at)
+            except OperationError:
+                # Graceful degradation: drop the operation and move on.
+                # A failed write keeps only its inf-completion invocation
+                # record — it may still take effect, so the checker must
+                # treat it as forever concurrent.  A failed read records
+                # nothing.
+                self.operations_failed += 1
+                self._record(
+                    "op-failed",
+                    f"{operation.op_type.name.lower()} {operation.object_id}",
+                )
+                self.inflight_since = None
+                if self._think_time > 0:
+                    yield self.sim.sleep(self._think_time)
+                continue
+            self.inflight_since = None
             self._log.record(
                 completed_at=self.sim.now,
                 latency=self.sim.now - started_at,
@@ -157,8 +204,70 @@ class ClientNode(Node):
             if self._think_time > 0:
                 yield self.sim.sleep(self._think_time)
 
-    def _issue(self, operation: OperationSpec) -> Future:
+    def _perform(
+        self, operation: OperationSpec, started_at: float
+    ) -> Iterator:
+        """One logical operation: bounded attempts under deadlines.
+
+        Each attempt waits at most ``attempt_timeout``; between attempts
+        the client backs off exponentially with seeded jitter (the jitter
+        draw happens only on the retry path, so fault-free runs consume
+        the RNG identically with or without this machinery).  Exhausting
+        ``max_attempts`` raises :class:`RetriesExhaustedError`.
+
+        Every attempt reuses the SAME request id: it names the logical
+        operation, not the transmission, so the proxy can recognise a
+        write resubmission and reuse the stamp it minted for the first
+        attempt.  A retried write carrying a fresh stamp would reorder
+        its (old) value above writes that completed in between — the
+        exact linearizability violation the chaos storms caught.
+        """
+        policy = self._policy
         request_id = next(self._request_seq)
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.operation_retries += 1
+                delay = policy.backoff(attempt - 1)
+                delay += delay * policy.backoff_jitter * self._rng.random()
+                self._record(
+                    "retry",
+                    f"{operation.object_id} attempt={attempt + 1} "
+                    f"backoff={delay:.3f}",
+                )
+                yield self.sim.sleep(delay)
+            future = self._issue(operation, request_id)
+            yield any_of(
+                self.sim,
+                [future, self.sim.sleep(policy.attempt_timeout)],
+            )
+            if not future.done:
+                # Attempt deadline hit: abandon this request id so a late
+                # reply is ignored, then back off and retry.
+                self._pending.pop(request_id, None)
+                self.attempt_timeouts += 1
+                self._record(
+                    "attempt-timeout",
+                    f"{operation.object_id} request={request_id}",
+                )
+                continue
+            reply = future.value
+            if isinstance(reply, ClientOperationFailed):
+                # The proxy gave up gracefully; treat like a timeout.
+                self._record(
+                    "proxy-gave-up",
+                    f"{operation.object_id} after {reply.attempts} gathers",
+                )
+                continue
+            return reply
+        raise RetriesExhaustedError(
+            f"{operation.object_id}: no reply within {policy.max_attempts} "
+            "attempts",
+            object_id=str(operation.object_id),
+            elapsed=self.sim.now - started_at,
+            attempts=policy.max_attempts,
+        )
+
+    def _issue(self, operation: OperationSpec, request_id: int) -> Future:
         reply_future = self.sim.future(name=f"{self.node_id}.req{request_id}")
         self._pending[request_id] = reply_future
         self.operations_issued += 1
@@ -188,3 +297,9 @@ class ClientNode(Node):
         future = self._pending.pop(reply.request_id, None)
         if future is not None and not future.done:
             future.resolve(reply)
+
+    def _record(self, label: str, detail: str = "") -> None:
+        if self._events is not None:
+            self._events.record(
+                self.sim.now, "client", label, f"{self.node_id}: {detail}"
+            )

@@ -17,6 +17,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.rng import substream
 from repro.common.types import NodeId, ObjectId, Version
 from repro.metrics.collector import OperationLog
+from repro.metrics.timeline import EventTimeline
 from repro.sds.client import ClientNode, OperationSource
 from repro.sds.proxy import ProxyNode
 from repro.sds.quorum import QuorumPlan
@@ -51,6 +52,8 @@ class SwiftCluster:
             self.sim, self.crashes, detection_delay=detection_delay
         )
         self.log = OperationLog()
+        #: Shared audit log: nemesis faults, proxy/client degradation events.
+        self.events = EventTimeline()
 
         initial_plan = QuorumPlan.uniform(self.config.initial_quorum)
         initial_plan.validate_strict(self.config.replication_degree)
@@ -88,6 +91,7 @@ class SwiftCluster:
                     top_k=top_k, summary_capacity=summary_capacity
                 ),
                 versioning=make_versioning(self.config.versioning),
+                events=self.events,
             )
             for index in range(self.config.num_proxies)
         ]
@@ -136,6 +140,8 @@ class SwiftCluster:
                     log=self.log,
                     think_time=think_time,
                     recorder=recorder,
+                    policy=self.config.client,
+                    events=self.events,
                 )
                 client.start()
                 self.clients.append(client)

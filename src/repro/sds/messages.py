@@ -54,6 +54,21 @@ class ClientWriteReply:
     request_id: int
 
 
+@dataclass(frozen=True)
+class ClientOperationFailed:
+    """Proxy -> client: the operation could not complete in time.
+
+    Sent when every gather attempt (including ring-rotation retries)
+    exhausted its deadline — graceful degradation instead of a silently
+    hung request.  ``kind`` is ``"read"`` or ``"write"``.
+    """
+
+    object_id: ObjectId
+    request_id: int
+    kind: str
+    attempts: int = 0
+
+
 # --------------------------------------------------------------------------
 # Proxy <-> Storage (Algorithms 4, 5, 6)
 # --------------------------------------------------------------------------

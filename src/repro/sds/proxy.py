@@ -28,6 +28,7 @@ import random
 from typing import Iterator, Optional
 
 from repro.common.config import ProxyConfig
+from repro.common.errors import GatherTimeoutError, OperationError
 from repro.common.types import (
     NodeId,
     ObjectId,
@@ -35,10 +36,12 @@ from repro.common.types import (
     Version,
     VersionStamp,
 )
+from repro.metrics.timeline import EventTimeline
 from repro.sds.messages import (
     AckConfirm,
     AckNewQuorum,
     AckPause,
+    ClientOperationFailed,
     ClientRead,
     ClientReadReply,
     ClientWrite,
@@ -106,6 +109,7 @@ class ProxyNode(Node):
         rng: random.Random,
         stats: Optional[ProxyStatsRecorder] = None,
         versioning=None,
+        events: Optional[EventTimeline] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._versioning = versioning or TimestampVersioning()
@@ -120,6 +124,7 @@ class ProxyNode(Node):
         # Algorithm 3 state.
         self._epoch_no = 0
         self._cfg_no = 0
+        self._confirmed_cfg_no = 0
         self._current_plan = initial_plan
         self._transition_plan: Optional[QuorumPlan] = None
         self._history = ConfigurationHistory()
@@ -137,11 +142,30 @@ class ProxyNode(Node):
         self._round_started_at = 0.0
         self._round_completed = 0
         self._round_latency_sum = 0.0
+        self._last_round_no = 0
+        self._last_round_stats: Optional[RoundStats] = None
 
         # Observability.
+        self._events = events
         self.operations_completed = 0
         self.operation_retries = 0
         self.read_repairs = 0
+        self.write_backs = 0
+        # Highest stamp per object known to sit on a full write quorum
+        # (own completed writes and write-backs, or an agreed
+        # self-intersecting read) — reads of covered stamps skip the
+        # ABD phase-2 write-back in _stabilise.
+        self._stable: dict[ObjectId, VersionStamp] = {}
+        # Stamp minted per (client, request_id): a client's retry of the
+        # same logical write must reuse the first attempt's stamp — a
+        # fresh stamp would resurrect the retried (old) value above
+        # writes that completed in between, breaking linearizability.
+        # Clients issue one operation at a time, so remembering only the
+        # latest request per client suffices.
+        self._write_stamps: dict[NodeId, tuple[int, VersionStamp]] = {}
+        self.resubmitted_writes = 0
+        self.gather_timeouts = 0
+        self.operations_failed = 0
         self._sync_optimized()
 
         self.register_handler(ClientRead, self._on_client_read)
@@ -189,8 +213,21 @@ class ProxyNode(Node):
         started_at = self.sim.now
         counter = self._inflight
         counter.increment()
-        version = yield from self._read(request.object_id)
-        counter.decrement()
+        try:
+            version = yield from self._read(request.object_id)
+        except OperationError as error:
+            self._fail_operation(
+                envelope.sender,
+                request.request_id,
+                "read",
+                request.object_id,
+                error,
+            )
+            return
+        finally:
+            # Decrement unconditionally: a timed-out operation must not
+            # wedge the NEWQ drain barrier of Algorithm 3.
+            counter.decrement()
         if self.stats is not None:
             self.stats.record_access_size(request.object_id, version.size)
         self.send(
@@ -214,13 +251,31 @@ class ProxyNode(Node):
         started_at = self.sim.now
         counter = self._inflight
         counter.increment()
-        stamp = self._versioning.next_stamp(
-            str(self.node_id), request.object_id, self.sim.now
-        )
-        yield from self._write(
-            request.object_id, request.value, request.size, stamp
-        )
-        counter.decrement()
+        cached = self._write_stamps.get(envelope.sender)
+        if cached is not None and cached[0] == request.request_id:
+            stamp = cached[1]
+            self.resubmitted_writes += 1
+        else:
+            stamp = self._versioning.next_stamp(
+                str(self.node_id), request.object_id, self.sim.now
+            )
+            self._write_stamps[envelope.sender] = (request.request_id, stamp)
+        try:
+            yield from self._write(
+                request.object_id, request.value, request.size, stamp
+            )
+        except OperationError as error:
+            self._fail_operation(
+                envelope.sender,
+                request.request_id,
+                "write",
+                request.object_id,
+                error,
+            )
+            return
+        finally:
+            counter.decrement()
+        self._note_stable(request.object_id, stamp)
         self.send(
             envelope.sender,
             ClientWriteReply(
@@ -231,12 +286,26 @@ class ProxyNode(Node):
         self._complete_operation(self.sim.now - started_at)
 
     def _read(self, object_id: ObjectId) -> Iterator:
-        """Algorithm 4 body; returns the freshest safe :class:`Version`."""
+        """Algorithm 4 body; returns the freshest safe :class:`Version`.
+
+        Raises :class:`GatherTimeoutError` once every gather attempt —
+        each against the next ring rotation, to route around a faulty
+        preferred replica set — has exhausted its deadline.
+        """
+        started_at = self.sim.now
+        timeouts = 0
         while True:
             read_quorum = self.active_plan().quorum_for(object_id).read
-            outcome = yield from self._gather_reads(object_id, read_quorum)
+            outcome = yield from self._gather_reads(
+                object_id, read_quorum, rotation_offset=timeouts
+            )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
+                continue
+            if outcome[0] == "timeout":
+                timeouts = self._next_attempt(
+                    "read", object_id, timeouts, started_at
+                )
                 continue
             version = self._freshest(outcome[1])
             # Lines 10-17: was the version written under a configuration
@@ -245,21 +314,23 @@ class ProxyNode(Node):
                 object_id, version.cfg_no, self._cfg_no
             )
             if repair_quorum <= read_quorum:
+                yield from self._stabilise(object_id, version, outcome[1])
                 self._versioning.observe(object_id, version.stamp)
                 return version
             self.read_repairs += 1
-            outcome = yield from self._gather_reads(object_id, repair_quorum)
+            outcome = yield from self._gather_reads(
+                object_id, repair_quorum, rotation_offset=timeouts
+            )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
                 continue
-            version = self._freshest(outcome[1])
-            # Line 27: write the value back under the current (larger)
-            # write quorum — asynchronously, after answering the client.
-            if version.value is not None:
-                self.spawn(
-                    self._write_back(object_id, version),
-                    name=f"{self.node_id}.write-back",
+            if outcome[0] == "timeout":
+                timeouts = self._next_attempt(
+                    "read", object_id, timeouts, started_at
                 )
+                continue
+            version = self._freshest(outcome[1])
+            yield from self._stabilise(object_id, version, outcome[1])
             self._versioning.observe(object_id, version.stamp)
             return version
 
@@ -270,25 +341,110 @@ class ProxyNode(Node):
         size: int,
         stamp: VersionStamp,
     ) -> Iterator:
-        """Algorithm 5 body."""
+        """Algorithm 5 body.
+
+        Raises :class:`GatherTimeoutError` after exhausting all rotation
+        retries, like :meth:`_read`.
+        """
+        started_at = self.sim.now
+        timeouts = 0
         while True:
             write_quorum = self.active_plan().quorum_for(object_id).write
             outcome = yield from self._gather_writes(
-                object_id, value, size, stamp, write_quorum
+                object_id, value, size, stamp, write_quorum,
+                rotation_offset=timeouts,
             )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
                 continue
+            if outcome[0] == "timeout":
+                timeouts = self._next_attempt(
+                    "write", object_id, timeouts, started_at
+                )
+                continue
             return
 
-    def _write_back(self, object_id: ObjectId, version: Version) -> Iterator:
+    def _next_attempt(
+        self,
+        kind: str,
+        object_id: ObjectId,
+        timeouts: int,
+        started_at: float,
+    ) -> int:
+        """Account one gather timeout; raise once the retry budget is spent."""
+        timeouts += 1
+        self.gather_timeouts += 1
+        if timeouts >= self._config.max_gather_attempts:
+            self._record(
+                "gather-exhausted", f"{kind} {object_id} attempts={timeouts}"
+            )
+            raise GatherTimeoutError(
+                f"{kind} of {object_id} found no responsive quorum after "
+                f"{timeouts} attempts",
+                object_id=str(object_id),
+                elapsed=self.sim.now - started_at,
+                attempts=timeouts,
+            )
+        self._record(
+            "gather-retry", f"{kind} {object_id} rotation+{timeouts}"
+        )
+        return timeouts
+
+    def _stabilise(
+        self,
+        object_id: ObjectId,
+        version: Version,
+        replies: list[ReplicaReadReply],
+    ) -> Iterator:
+        """Write the freshest version back to a full write quorum before
+        the read returns it (ABD phase 2; Alg. 4 line 27).
+
+        A writer that crashes or exhausts its retries mid-quorum leaves a
+        *partial* write behind; a read that observes it and returns
+        without this step could expose a value a later read fails to
+        find.  The round trip is skipped only when it is provably
+        redundant: every reply already carries the version and read
+        quorums self-intersect (2r > n), so any later read meets a
+        replica that stores it.  A write-back that itself finds no
+        responsive quorum fails the read with the usual typed error —
+        an unstable value must never reach the client.
+
+        Stability is memoised per object: a stamp this proxy has itself
+        pushed to a full write quorum (a completed client write or an
+        earlier write-back) is durable, so reads that return it — the
+        steady state, including every read under R=1 where a lone reply
+        can never self-certify — cost no extra round trip.
+        """
+        if version.value is None:
+            return
+        # Equality only: knowing a *higher* stamp sits on some write
+        # quorum says nothing about the stability of the older value
+        # this gather actually returned (quorum shapes shift under
+        # per-object reconfiguration), so `<` must still write back.
+        if self._stable.get(object_id) == version.stamp:
+            return
+        agreed = all(
+            reply.version.stamp == version.stamp for reply in replies
+        )
+        if agreed and 2 * len(replies) > self._ring.replication_degree:
+            self._note_stable(object_id, version.stamp)
+            return
+        self.write_backs += 1
         yield from self._write(
             object_id, version.value, version.size, version.stamp
         )
+        self._note_stable(object_id, version.stamp)
+
+    def _note_stable(self, object_id: ObjectId, stamp: VersionStamp) -> None:
+        current = self._stable.get(object_id)
+        if current is None or current < stamp:
+            self._stable[object_id] = stamp
 
     # -- quorum gathering --------------------------------------------------------
 
-    def _gather_reads(self, object_id: ObjectId, quorum: int) -> Iterator:
+    def _gather_reads(
+        self, object_id: ObjectId, quorum: int, rotation_offset: int = 0
+    ) -> Iterator:
         def make_request(op_id: int) -> tuple:
             return (
                 ReplicaRead(
@@ -299,7 +455,9 @@ class ProxyNode(Node):
                 _HEADER_BYTES,
             )
 
-        outcome = yield from self._gather(object_id, quorum, make_request)
+        outcome = yield from self._gather(
+            object_id, quorum, make_request, rotation_offset
+        )
         return outcome
 
     def _gather_writes(
@@ -309,6 +467,7 @@ class ProxyNode(Node):
         size: int,
         stamp: VersionStamp,
         quorum: int,
+        rotation_offset: int = 0,
     ) -> Iterator:
         def make_request(op_id: int) -> tuple:
             return (
@@ -324,39 +483,59 @@ class ProxyNode(Node):
                 _HEADER_BYTES + size,
             )
 
-        outcome = yield from self._gather(object_id, quorum, make_request)
+        outcome = yield from self._gather(
+            object_id, quorum, make_request, rotation_offset
+        )
         return outcome
 
-    def _gather(self, object_id: ObjectId, quorum: int, make_request) -> Iterator:
+    def _gather(
+        self,
+        object_id: ObjectId,
+        quorum: int,
+        make_request,
+        rotation_offset: int = 0,
+    ) -> Iterator:
         """Contact ``quorum`` replicas; fall back to the rest on timeout.
 
         Resolves with ``("ok", replies)`` once ``quorum`` replies arrive,
-        or ``("nack", nack)`` as soon as any replica rejects our epoch.
-        The fallback to the remaining replicas after ``fallback_timeout``
-        is the rarely-exercised failure path of Section 2.1.
+        ``("nack", nack)`` as soon as any replica rejects our epoch, or
+        ``("timeout", None)`` if ``gather_deadline`` elapses first — the
+        bound that keeps the proxy from hanging on lost messages or
+        crashed replicas.  The fallback to the remaining replicas after
+        ``fallback_timeout`` is the rarely-exercised failure path of
+        Section 2.1; ``rotation_offset`` shifts the preferred replica
+        order so a retry lands on different nodes.
         """
-        order = self._ring.preferred_order(object_id, self._rotation)
+        order = self._ring.preferred_order(
+            object_id, self._rotation + rotation_offset
+        )
         quorum = min(quorum, len(order))
         op_id = next(self._op_seq)
         gather = _Gather(
             needed=quorum, future=self.sim.future(name=f"gather-{op_id}")
         )
         self._gathers[op_id] = gather
-        # Marshalling cost on the proxy CPU, proportional to fan-out.
-        yield self._cpu.use(self._config.per_replica_cpu * quorum)
-        payload, size = make_request(op_id)
-        for replica in order[:quorum]:
-            self.send(replica, payload, size=size)
-        yield any_of(
-            self.sim,
-            [gather.future, self.sim.sleep(self._config.fallback_timeout)],
-        )
-        if not gather.future.done and len(order) > quorum:
-            for replica in order[quorum:]:
+        try:
+            # Marshalling cost on the proxy CPU, proportional to fan-out.
+            yield self._cpu.use(self._config.per_replica_cpu * quorum)
+            # The deadline clock starts once the requests hit the wire.
+            deadline = self.sim.sleep(self._config.gather_deadline)
+            payload, size = make_request(op_id)
+            for replica in order[:quorum]:
                 self.send(replica, payload, size=size)
-        outcome = yield gather.future
-        del self._gathers[op_id]
-        return outcome
+            yield any_of(
+                self.sim,
+                [gather.future, self.sim.sleep(self._config.fallback_timeout)],
+            )
+            if not gather.future.done and len(order) > quorum:
+                for replica in order[quorum:]:
+                    self.send(replica, payload, size=size)
+            yield any_of(self.sim, [gather.future, deadline])
+            if not gather.future.done:
+                return ("timeout", None)
+            return gather.future.value
+        finally:
+            del self._gathers[op_id]
 
     def _on_replica_reply(self, envelope: Envelope) -> None:
         reply = envelope.payload
@@ -376,6 +555,7 @@ class ProxyNode(Node):
         if nack.epoch_no > self._epoch_no:
             self._epoch_no = nack.epoch_no
             self._cfg_no = nack.cfg_no
+            self._confirmed_cfg_no = max(self._confirmed_cfg_no, nack.cfg_no)
             self._current_plan = nack.plan
             self._transition_plan = None
             self._history.record(nack.cfg_no, nack.plan)
@@ -391,6 +571,16 @@ class ProxyNode(Node):
     def _on_new_quorum(self, envelope: Envelope) -> Iterator:
         message: NewQuorum = envelope.payload
         if self._epoch_no > message.epoch_no:
+            return
+        if message.cfg_no <= self._confirmed_cfg_no:
+            # Retransmitted NEWQ for a configuration we already confirmed
+            # (our earlier ack was lost): re-ack without re-entering the
+            # transition, which would wedge the proxy in it forever.
+            self.send(
+                envelope.sender,
+                AckNewQuorum(epoch_no=message.epoch_no, proxy=self.node_id),
+                size=_HEADER_BYTES,
+            )
             return
         self._epoch_no = message.epoch_no
         self._cfg_no = message.cfg_no
@@ -415,7 +605,16 @@ class ProxyNode(Node):
         message: Confirm = envelope.payload
         if self._epoch_no > message.epoch_no:
             return
+        if message.cfg_no < self._confirmed_cfg_no:
+            # Stale duplicate: ack it, but keep the newer installed plan.
+            self.send(
+                envelope.sender,
+                AckConfirm(epoch_no=message.epoch_no, proxy=self.node_id),
+                size=_HEADER_BYTES,
+            )
+            return
         self._epoch_no = message.epoch_no
+        self._confirmed_cfg_no = message.cfg_no
         self._current_plan = message.plan
         self._transition_plan = None
         self._sync_optimized()
@@ -450,6 +649,22 @@ class ProxyNode(Node):
         message: NewRound = envelope.payload
         if self.stats is None:
             return
+        if message.round_no <= self._last_round_no:
+            # Retransmitted NEWROUND (our ROUNDSTATS was lost): replay
+            # the cached report rather than snapshotting a bogus,
+            # near-empty round.
+            if (
+                message.round_no == self._last_round_no
+                and self._last_round_stats is not None
+            ):
+                report = self._last_round_stats
+                self.send(
+                    envelope.sender,
+                    report,
+                    size=_HEADER_BYTES
+                    + 64 * (len(report.top_k) + len(report.stats_top_k)),
+                )
+            return
         now = self.sim.now
         duration = max(now - self._round_started_at, 1e-9)
         throughput = self._round_completed / duration
@@ -461,17 +676,20 @@ class ProxyNode(Node):
         top_k, monitored, tail = self.stats.snapshot_round(
             already_optimized=frozenset(self._current_plan.overrides)
         )
+        report = RoundStats(
+            round_no=message.round_no,
+            proxy=self.node_id,
+            top_k=top_k,
+            stats_top_k=monitored,
+            stats_tail=tail,
+            throughput=throughput,
+            mean_latency=mean_latency,
+        )
+        self._last_round_no = message.round_no
+        self._last_round_stats = report
         self.send(
             envelope.sender,
-            RoundStats(
-                round_no=message.round_no,
-                proxy=self.node_id,
-                top_k=top_k,
-                stats_top_k=monitored,
-                stats_tail=tail,
-                throughput=throughput,
-                mean_latency=mean_latency,
-            ),
+            report,
             size=_HEADER_BYTES + 64 * (len(top_k) + len(monitored)),
         )
         self._round_started_at = now
@@ -487,3 +705,34 @@ class ProxyNode(Node):
         self.operations_completed += 1
         self._round_completed += 1
         self._round_latency_sum += latency
+
+    # -- graceful degradation -------------------------------------------------
+
+    def _fail_operation(
+        self,
+        client: NodeId,
+        request_id: int,
+        kind: str,
+        object_id: ObjectId,
+        error: OperationError,
+    ) -> None:
+        """Tell the client the operation failed, instead of going silent."""
+        self.operations_failed += 1
+        attempts = getattr(error, "attempts", 0)
+        self._record("op-failed", f"{kind} {object_id} attempts={attempts}")
+        self.send(
+            client,
+            ClientOperationFailed(
+                object_id=object_id,
+                request_id=request_id,
+                kind=kind,
+                attempts=attempts,
+            ),
+            size=_HEADER_BYTES,
+        )
+
+    def _record(self, label: str, detail: str = "") -> None:
+        if self._events is not None:
+            self._events.record(
+                self.sim.now, "proxy", label, f"{self.node_id}: {detail}"
+            )

@@ -2,6 +2,7 @@
 
 from repro.sim.failure import CrashManager, FailureDetector
 from repro.sim.kernel import Future, Interrupt, Process, Simulator
+from repro.sim.nemesis import FaultEvent, Nemesis, links_between
 from repro.sim.network import Envelope, Mailbox, Network
 from repro.sim.node import Node
 from repro.sim.primitives import (
@@ -20,11 +21,13 @@ __all__ = [
     "CrashManager",
     "Envelope",
     "FailureDetector",
+    "FaultEvent",
     "Future",
     "Gate",
     "Interrupt",
     "Mailbox",
     "Mutex",
+    "Nemesis",
     "Network",
     "Node",
     "PendingCounter",
@@ -33,5 +36,6 @@ __all__ = [
     "Simulator",
     "all_of",
     "any_of",
+    "links_between",
     "retry_until",
 ]

@@ -10,6 +10,18 @@ message pays a propagation delay with a small jitter.  Because proxies
 relay the full object payload to or from every contacted replica, NIC
 serialization is what makes the per-operation cost grow with the quorum
 size — the effect at the heart of Figure 2.
+
+Beyond the paper's model, the network exposes a **fault surface** for
+nemesis-style chaos testing (:mod:`repro.sim.nemesis`):
+
+* delay spikes per directed link (:meth:`Network.set_delay_factor`) —
+  model-faithful, since the network is asynchronous;
+* crash-window drops — model-faithful ("lost if the sender or receiver
+  crashes during the transmission");
+* network partitions (:meth:`Network.partition` / :meth:`Network.heal`)
+  and per-link message omission (:meth:`Network.set_link_omission`) —
+  these *violate* the reliable-channel assumption and therefore require
+  the explicit stress-test opt-in :meth:`Network.enable_lossy_mode`.
 """
 
 from __future__ import annotations
@@ -17,7 +29,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import SimulationError
@@ -106,10 +118,16 @@ class Network:
         self._channels: dict[tuple[NodeId, NodeId], _ChannelState] = {}
         self._egress: dict[NodeId, Resource] = {}
         self._ingress: dict[NodeId, Resource] = {}
+        # Stress-test fault state (all gated on lossy mode).
+        self._lossy = False
+        self._partition: Optional[dict[NodeId, int]] = None
+        self._omission: dict[tuple[NodeId, NodeId], float] = {}
         #: Delivery counters for observability.
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_omitted = 0
+        self.messages_partitioned = 0
         self.bytes_sent = 0
 
     # -- registration -------------------------------------------------------
@@ -154,10 +172,101 @@ class Network:
     def set_delay_factor(
         self, sender: NodeId, recipient: NodeId, factor: float
     ) -> None:
-        """Scale the latency of one directed channel (test hook)."""
+        """Scale the latency of one directed channel.
+
+        Model-faithful (the network is asynchronous): messages are
+        delayed, never lost, so no lossy-mode opt-in is required.
+        """
         if factor <= 0:
             raise SimulationError("delay factor must be > 0")
         self._channel(sender, recipient).delay_factor = factor
+
+    # -- stress-test fault surface (lossy mode) ------------------------------
+
+    @property
+    def lossy(self) -> bool:
+        """Whether loss faults beyond the paper's model are permitted."""
+        return self._lossy
+
+    def enable_lossy_mode(self) -> None:
+        """Opt in to faults that violate the reliable-channel model.
+
+        Partitions and message omission lose messages even when neither
+        endpoint crashes — something Section 3's channels never do.  The
+        explicit opt-in keeps every model-faithful simulation loss-free
+        by construction while letting chaos suites stress the recovery
+        paths.
+        """
+        self._lossy = True
+
+    def partition(self, groups: Sequence[Iterable[NodeId]]) -> None:
+        """Split the cluster: messages crossing group boundaries are lost.
+
+        ``groups`` lists the connectivity islands; any registered node
+        not named in a group implicitly joins the first one.  Messages
+        already in flight across a new boundary are dropped at delivery
+        time (they were "in transmission" when the partition started);
+        a later :meth:`heal` lets traffic flow again.  Requires lossy
+        mode.
+        """
+        if not self._lossy:
+            raise SimulationError(
+                "partition() requires enable_lossy_mode(): partitions "
+                "violate the paper's reliable-channel model"
+            )
+        if not groups:
+            raise SimulationError("partition needs at least one group")
+        membership: dict[NodeId, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in membership:
+                    raise SimulationError(
+                        f"{node} appears in more than one partition group"
+                    )
+                membership[node] = index
+        self._partition = membership
+
+    def heal(self) -> None:
+        """Remove the current partition (messages flow everywhere again)."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def set_link_omission(
+        self, sender: NodeId, recipient: NodeId, probability: float
+    ) -> None:
+        """Drop each message on a directed link with ``probability``.
+
+        Requires lossy mode; a probability of 0 clears the fault.  Drops
+        are drawn from the network's seeded stream, so a fixed seed
+        reproduces the exact same loss pattern.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError("omission probability must be in [0, 1]")
+        if probability == 0.0:
+            self._omission.pop((sender, recipient), None)
+            return
+        if not self._lossy:
+            raise SimulationError(
+                "set_link_omission() requires enable_lossy_mode(): "
+                "omission violates the paper's reliable-channel model"
+            )
+        self._omission[(sender, recipient)] = probability
+
+    def clear_link_faults(self) -> None:
+        """Remove all omission probabilities and delay factors."""
+        self._omission.clear()
+        for channel in self._channels.values():
+            channel.delay_factor = 1.0
+
+    def _separated(self, sender: NodeId, recipient: NodeId) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(sender, 0) != self._partition.get(
+            recipient, 0
+        )
 
     # -- sending --------------------------------------------------------------
 
@@ -179,6 +288,15 @@ class Network:
         self.bytes_sent += size
         if sender in self._crashed or recipient in self._crashed:
             self.messages_dropped += 1
+            return
+        if self._separated(sender, recipient):
+            self.messages_dropped += 1
+            self.messages_partitioned += 1
+            return
+        omission = self._omission.get((sender, recipient))
+        if omission is not None and self._rng.random() < omission:
+            self.messages_dropped += 1
+            self.messages_omitted += 1
             return
         if recipient not in self._mailboxes:
             raise SimulationError(f"send to unregistered node {recipient}")
@@ -224,6 +342,11 @@ class Network:
             or envelope.sender in self._crashed
         ):
             self.messages_dropped += 1
+            return
+        if self._separated(envelope.sender, envelope.recipient):
+            # In flight when the partition cut the link: lost.
+            self.messages_dropped += 1
+            self.messages_partitioned += 1
             return
         envelope.delivered_at = self._sim.now
         self.messages_delivered += 1

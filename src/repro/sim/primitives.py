@@ -9,7 +9,7 @@ and FIFO queueing resources that model CPUs and disks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.common.errors import SimulationError
 from repro.sim.kernel import Future, Simulator
@@ -277,7 +277,7 @@ def retry_until(
     accept: Callable[[Any], bool],
     backoff: float = 0.0,
     max_attempts: Optional[int] = None,
-):
+) -> Generator[Future, Any, Any]:
     """Process body: repeat ``attempt`` until ``accept(result)`` holds.
 
     Returns the accepted result.  Used in tests and examples to model

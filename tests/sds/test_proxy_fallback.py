@@ -1,0 +1,133 @@
+"""Direct unit tests for the proxy's ``_gather`` failure paths.
+
+The cluster-level tests exercise fallback indirectly; these drive the
+generator itself so the two timeout tiers are pinned down:
+
+* after ``fallback_timeout`` the proxy contacts the replicas beyond the
+  preferred quorum (Section 2.1's "send to the remaining replicas");
+* after ``gather_deadline`` the gather resolves ``("timeout", None)``
+  instead of blocking forever, and ``_read`` converts an exhausted
+  retry budget into a typed :class:`GatherTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GatherTimeoutError
+from repro.sds.cluster import SwiftCluster
+
+
+def preferred_order(proxy, object_id):
+    return proxy._ring.preferred_order(object_id, proxy._rotation)
+
+
+def run_gather(cluster, proxy, object_id, quorum):
+    """Drive one ``_gather_reads`` to completion; return (outcome, elapsed)."""
+    result = {}
+    started = cluster.sim.now
+
+    def process():
+        try:
+            outcome = yield from proxy._gather_reads(object_id, quorum)
+            result["outcome"] = outcome
+        except Exception as error:  # pragma: no cover - surfaced by asserts
+            result["error"] = error
+        result["elapsed"] = cluster.sim.now - started
+
+    cluster.sim.run_process(process())
+    return result
+
+
+def run_read(cluster, proxy, object_id):
+    """Drive one full ``_read``; return the result dict."""
+    result = {}
+    started = cluster.sim.now
+
+    def process():
+        try:
+            result["version"] = yield from proxy._read(object_id)
+        except GatherTimeoutError as error:
+            result["error"] = error
+        result["elapsed"] = cluster.sim.now - started
+
+    cluster.sim.run_process(process())
+    return result
+
+
+class TestFallbackTimeout:
+    def test_fallback_contacts_remaining_replicas(self, tiny_cluster):
+        """With 2 of the 3 preferred replicas dead, the quorum completes
+        only after the fallback fan-out — so the elapsed time straddles
+        ``fallback_timeout`` and the replies span the full replica set."""
+        proxy = tiny_cluster.proxies[0]
+        object_id = "obj-fallback"
+        order = preferred_order(proxy, object_id)
+        for replica in order[:2]:
+            tiny_cluster.crashes.crash(replica)
+
+        result = run_gather(tiny_cluster, proxy, object_id, quorum=3)
+        status, replies = result["outcome"]
+        assert status == "ok"
+        assert len(replies) == 3
+        fallback = tiny_cluster.config.proxy.fallback_timeout
+        deadline = tiny_cluster.config.proxy.gather_deadline
+        assert fallback <= result["elapsed"] < deadline
+        # At least one reply had to come from beyond the preferred three.
+        responders = {reply.replica for reply in replies}
+        assert responders & set(order[3:])
+
+    def test_no_fallback_when_quorum_answers(self, tiny_cluster):
+        """The happy path resolves well before ``fallback_timeout`` and
+        only the preferred replicas answer."""
+        proxy = tiny_cluster.proxies[0]
+        object_id = "obj-happy"
+        order = preferred_order(proxy, object_id)
+
+        result = run_gather(tiny_cluster, proxy, object_id, quorum=3)
+        status, replies = result["outcome"]
+        assert status == "ok"
+        assert result["elapsed"] < tiny_cluster.config.proxy.fallback_timeout
+        assert {reply.replica for reply in replies} <= set(order[:3])
+
+
+class TestGatherDeadline:
+    def test_unreachable_quorum_times_out(self, tiny_cluster):
+        """With 3 of 5 replicas dead a quorum of 3 can never form: the
+        gather must resolve ``("timeout", None)`` at the deadline rather
+        than hang, and must not leak its reply-collection state."""
+        proxy = tiny_cluster.proxies[0]
+        object_id = "obj-doomed"
+        order = preferred_order(proxy, object_id)
+        for replica in order[:3]:
+            tiny_cluster.crashes.crash(replica)
+
+        result = run_gather(tiny_cluster, proxy, object_id, quorum=3)
+        assert result["outcome"] == ("timeout", None)
+        assert result["elapsed"] == pytest.approx(
+            tiny_cluster.config.proxy.gather_deadline, rel=0.1
+        )
+        assert not proxy._gathers
+
+    def test_read_exhausts_rotations_then_raises_typed_error(
+        self, tiny_cluster
+    ):
+        """``_read`` retries each gather against the next ring rotation,
+        then surfaces ``GatherTimeoutError`` carrying the attempt count."""
+        proxy = tiny_cluster.proxies[0]
+        object_id = "obj-doomed"
+        for node in tiny_cluster.storage_nodes:
+            tiny_cluster.crashes.crash(node.node_id)
+
+        result = run_read(tiny_cluster, proxy, object_id)
+        assert "version" not in result
+        error = result["error"]
+        assert isinstance(error, GatherTimeoutError)
+        max_attempts = tiny_cluster.config.proxy.max_gather_attempts
+        assert error.attempts == max_attempts
+        assert proxy.gather_timeouts == max_attempts
+        # Each attempt burned one full gather deadline.
+        assert result["elapsed"] == pytest.approx(
+            max_attempts * tiny_cluster.config.proxy.gather_deadline,
+            rel=0.1,
+        )

@@ -121,6 +121,128 @@ class TestCrashSemantics:
         assert len(net.mailbox(B)) == 0
 
 
+class TestCrashEnvelopeAudit:
+    """Regression coverage for envelope handling around ``Network.crash``.
+
+    The model says a message is lost iff an endpoint crashes *during
+    transmission* — so anything delivered before the crash must survive
+    in counters, anything in flight must die exactly once, and a dead
+    sender's in-flight traffic must not leak into a live mailbox.
+    """
+
+    def test_in_flight_message_from_crashing_sender_dropped(self, sim, net):
+        # A crashes while its large message is still in transit to B.
+        net.send(A, B, "x", size=1_250_000)
+        sim.schedule(0.001, net.crash, A)
+        sim.run()
+        assert net.messages_delivered == 0
+        assert net.messages_dropped == 1
+
+    def test_messages_delivered_before_crash_stay_counted(self, sim, net):
+        net.send(A, B, "early", size=10)
+        sim.run()
+        assert net.messages_delivered == 1
+        net.crash(B)
+        net.send(A, B, "late", size=10)
+        sim.run()
+        # The early delivery is history; only the late send is dropped.
+        assert net.messages_delivered == 1
+        assert net.messages_dropped == 1
+
+    def test_crash_drains_mailbox_but_preserves_delivery_count(self, sim, net):
+        net.send(A, B, "x", size=10)
+        net.send(A, B, "y", size=10)
+        sim.run()
+        assert len(net.mailbox(B)) == 2
+        assert net.messages_delivered == 2
+        net.crash(B)
+        assert len(net.mailbox(B)) == 0
+        assert net.messages_delivered == 2  # drain is not a "drop"
+
+    def test_crashed_sender_cannot_reach_any_recipient(self, sim, net):
+        net.crash(A)
+        net.send(A, B, "x")
+        net.send(A, C, "y")
+        sim.run()
+        assert net.messages_delivered == 0
+        assert net.messages_dropped == 2
+
+    def test_messages_between_live_nodes_unaffected_by_crash(self, sim, net):
+        net.crash(C)
+        net.send(A, B, "x", size=10)
+        assert drain(sim, net.mailbox(B)) == ["x"]
+
+
+class TestLossyModeGate:
+    def test_partition_requires_lossy_mode(self, sim, net):
+        with pytest.raises(SimulationError):
+            net.partition([[A], [B, C]])
+
+    def test_omission_requires_lossy_mode(self, sim, net):
+        with pytest.raises(SimulationError):
+            net.set_link_omission(A, B, 0.5)
+
+    def test_clearing_omission_never_needs_lossy_mode(self, sim, net):
+        net.set_link_omission(A, B, 0.0)  # no-op clear, no raise
+
+
+class TestPartitionSemantics:
+    def test_cross_partition_send_dropped(self, sim, net):
+        net.enable_lossy_mode()
+        net.partition([[A], [B, C]])
+        net.send(A, B, "x")
+        net.send(B, C, "y")  # same island: flows
+        assert drain(sim, net.mailbox(C)) == ["y"]
+        assert net.messages_partitioned == 1
+
+    def test_unlisted_nodes_join_first_group(self, sim, net):
+        net.enable_lossy_mode()
+        net.partition([[], [C]])  # A and B implicitly in group 0
+        net.send(A, B, "x")
+        assert drain(sim, net.mailbox(B)) == ["x"]
+
+    def test_in_flight_message_dropped_at_partition_boundary(self, sim, net):
+        net.enable_lossy_mode()
+        net.send(A, B, "x", size=1_250_000)  # ~20ms in flight
+        sim.schedule(0.001, net.partition, [[A], [B, C]])
+        sim.run()
+        assert net.messages_delivered == 0
+        assert net.messages_partitioned == 1
+
+    def test_heal_restores_connectivity(self, sim, net):
+        net.enable_lossy_mode()
+        net.partition([[A], [B, C]])
+        net.heal()
+        assert not net.partitioned
+        net.send(A, B, "x")
+        assert drain(sim, net.mailbox(B)) == ["x"]
+
+
+class TestOmissionSemantics:
+    def test_probability_one_drops_everything(self, sim, net):
+        net.enable_lossy_mode()
+        net.set_link_omission(A, B, 1.0)
+        for _ in range(5):
+            net.send(A, B, "x")
+        sim.run()
+        assert net.messages_delivered == 0
+        assert net.messages_omitted == 5
+
+    def test_omission_is_directional(self, sim, net):
+        net.enable_lossy_mode()
+        net.set_link_omission(A, B, 1.0)
+        net.send(B, A, "reverse")
+        assert drain(sim, net.mailbox(A)) == ["reverse"]
+
+    def test_clear_link_faults_restores_delivery(self, sim, net):
+        net.enable_lossy_mode()
+        net.set_link_omission(A, B, 1.0)
+        net.set_delay_factor(A, B, 50.0)
+        net.clear_link_faults()
+        net.send(A, B, "x")
+        assert drain(sim, net.mailbox(B)) == ["x"]
+
+
 class TestDelayFactor:
     def test_slow_channel_delays_delivery(self, sim, net):
         net.set_delay_factor(A, B, 100.0)
