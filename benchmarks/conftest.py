@@ -8,11 +8,21 @@ reviewable record regardless of output capturing.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Benchmarks compare results across runs (and CI compares them across
+# machines): pin the hash seed for every subprocess a benchmark spawns
+# so set/dict iteration order can never make two runs diverge.  The
+# current interpreter's own hash seed is fixed at startup and cannot be
+# changed here; simulation code is required to be order-independent
+# regardless (tests/determinism enforces this by comparing subprocess
+# runs under different hash seeds).
+os.environ.setdefault("PYTHONHASHSEED", "0")
 
 
 @pytest.fixture(scope="session")

@@ -33,6 +33,7 @@ from repro.autonomic.policy import MedianFilter
 from repro.common.config import AutonomicConfig
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId, NodeKind, ObjectId, QuorumConfig
+from repro.obs.context import Observability
 from repro.sds.messages import (
     AckRec,
     AggregateStats,
@@ -138,10 +139,12 @@ class AutonomicManager(Node):
         initial_default: QuorumConfig,
         suspect_poll_interval: float = 0.05,
         retransmit_interval: float = 0.5,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(
             sim, network, NodeId.singleton(NodeKind.AUTONOMIC_MANAGER)
         )
+        self._obs = obs
         if not proxies:
             raise ConfigurationError("AM needs at least one proxy")
         self._proxies = list(proxies)
@@ -417,7 +420,27 @@ class AutonomicManager(Node):
         )
         self._installed_overrides.update(quorums)
         self.fine_reconfigurations += 1
+        yield from self._quarantine("fine")
+
+    def _quarantine(self, kind: str) -> Iterator:
+        """Post-reconfiguration settling period (Section 4's quarantine)."""
+        obs = self._obs
+        started_at = self.sim.now
+        span = (
+            obs.tracer.start_span(
+                "am.quarantine",
+                category="autonomic",
+                node=str(self.node_id),
+                kind=kind,
+            )
+            if obs is not None
+            else None
+        )
         yield self.sim.sleep(self.config.quarantine)
+        if obs is not None:
+            assert span is not None
+            span.finish(status="ok")
+            obs.reconfig_quarantine.observe(self.sim.now - started_at)
 
     def _coarse_reconfigure(self, quorum: QuorumConfig) -> Iterator:
         yield from self._request_reconfiguration(
@@ -426,7 +449,7 @@ class AutonomicManager(Node):
         )
         self._installed_default = quorum
         self.coarse_reconfigurations += 1
-        yield self.sim.sleep(self.config.quarantine)
+        yield from self._quarantine("coarse")
 
     # -- message handlers ------------------------------------------------------------
 

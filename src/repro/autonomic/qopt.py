@@ -93,6 +93,7 @@ def attach_qopt(
         config=config,
         replication_degree=cluster.config.replication_degree,
         initial_default=cluster.config.initial_quorum,
+        obs=getattr(cluster, "obs", None),
     )
     cluster._nodes_by_id[am.node_id] = am
     if start:

@@ -165,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="protocol-invariant static analysis (see python -m repro.qlint)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "bench",
+        help="observability perf harness (see python -m repro bench --help)",
+        add_help=False,
+    )
     return parser
 
 
@@ -176,6 +181,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.qlint.cli import main as qlint_main
 
         return qlint_main(arguments[1:])
+    if arguments and arguments[0] == "bench":
+        # Forwarded wholesale: the bench harness owns its own flags
+        # (--quick/--output/--baseline/--trace).
+        from repro.obs.bench import main as bench_main
+
+        return bench_main(arguments[1:])
     args = build_parser().parse_args(arguments)
     handler, _help = COMMANDS[args.command]
     print(handler(args))

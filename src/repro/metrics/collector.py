@@ -68,6 +68,12 @@ class OperationLog:
             OpType.WRITE: [],
         }
         self._retries = 0
+        # Latency lists are append-only, so a sorted view stays valid
+        # until the next record(); cache it per op_type (None = all)
+        # keyed by the list length it was built from.
+        self._sorted_cache: dict[
+            Optional[OpType], tuple[int, list[float]]
+        ] = {}
 
     # -- recording ------------------------------------------------------------
 
@@ -117,17 +123,31 @@ class OperationLog:
             return 0.0
         return self.operations_in(start, end) / duration
 
-    def latency_summary(
-        self, op_type: Optional[OpType] = None
-    ) -> LatencySummary:
+    def _sorted_latencies(self, op_type: Optional[OpType]) -> list[float]:
+        """Sorted latency view, memoized while no new records arrive.
+
+        Control loops query summaries every round over ever-growing
+        logs; re-sorting the full list per query is O(n log n) each
+        time, so repeated queries between records hit the cache.
+        """
         values = (
             self._latencies
             if op_type is None
             else self._latencies_by_type[op_type]
         )
-        if not values:
-            return LatencySummary.empty()
+        cached = self._sorted_cache.get(op_type)
+        if cached is not None and cached[0] == len(values):
+            return cached[1]
         ordered = sorted(values)
+        self._sorted_cache[op_type] = (len(values), ordered)
+        return ordered
+
+    def latency_summary(
+        self, op_type: Optional[OpType] = None
+    ) -> LatencySummary:
+        ordered = self._sorted_latencies(op_type)
+        if not ordered:
+            return LatencySummary.empty()
         return LatencySummary(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),

@@ -17,10 +17,13 @@ compare.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.common.errors import SimulationError
 from repro.metrics.collector import OperationLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.context import Observability
 
 
 @dataclass(frozen=True)
@@ -47,12 +50,22 @@ class EventTimeline:
 
     def __init__(self) -> None:
         self._events: list[TimelineEvent] = []
+        self._obs: Optional["Observability"] = None
 
     def __len__(self) -> int:
         return len(self._events)
 
     def __iter__(self) -> Iterator[TimelineEvent]:
         return iter(self._events)
+
+    def bind_observability(self, obs: "Observability") -> None:
+        """Mirror future events into the trace as annotations.
+
+        Nemesis faults (category ``"nemesis"``) additionally bump the
+        ``qopt_nemesis_faults_total`` counter, so chaos dashboards can
+        correlate fault counts with retry/timeout metrics.
+        """
+        self._obs = obs
 
     def record(
         self, time: float, category: str, label: str, detail: str = ""
@@ -66,6 +79,13 @@ class EventTimeline:
             time=time, category=category, label=label, detail=detail
         )
         self._events.append(event)
+        obs = self._obs
+        if obs is not None:
+            obs.tracer.annotate(
+                label, category=category, at=time, detail=detail
+            )
+            if category == "nemesis":
+                obs.faults.inc()
         return event
 
     @property

@@ -1,0 +1,320 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+The histogram is HDR-style: bucket bounds are log-linear (nine linear
+sub-buckets per decade), so relative quantile error is bounded by the
+sub-bucket width (~11%) across the whole dynamic range while inserts
+stay O(log buckets) — one :func:`bisect.bisect_left` into a fixed
+bounds tuple plus an integer increment.  This replaces the ad-hoc
+"append to a list of floats, sort at query time" accounting that the
+hot paths used to pay for.
+
+Snapshots are immutable and mergeable: per-scenario registries can be
+folded into cross-run aggregates without touching the live series.
+
+Everything here is deterministic — no wall clocks, no randomness — so
+identical simulated runs produce identical snapshots and exports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+
+#: Canonical label form: sorted ``(key, value)`` pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def default_latency_bounds() -> Tuple[float, ...]:
+    """Log-linear bucket bounds from 1 µs to 90 s (nine per decade).
+
+    Values above the last bound land in the overflow bucket; quantiles
+    there are clamped to the observed maximum.
+    """
+    bounds: List[float] = []
+    for exponent in range(-6, 2):
+        scale = 10.0**exponent
+        for mantissa in range(1, 10):
+            bounds.append(mantissa * scale)
+    return tuple(bounds)
+
+
+_DEFAULT_BOUNDS = default_latency_bounds()
+
+
+def _canonical_labels(labels: Mapping[str, str]) -> Labels:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable, mergeable view of a histogram's state."""
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    def percentile(self, fraction: float) -> float:
+        """Linear-interpolated quantile from the bucket counts."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"percentile fraction {fraction} out of range"
+            )
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                low = self.bounds[index - 1] if index > 0 else 0.0
+                high = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.maximum
+                )
+                low = max(low, self.minimum) if cumulative == 0 else low
+                high = min(high, self.maximum)
+                if high <= low:
+                    return min(max(low, self.minimum), self.maximum)
+                within = (target - cumulative) / bucket_count
+                return low + within * (high - low)
+            cumulative += bucket_count
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merged(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(
+                a + b for a, b in zip(self.counts, other.counts)
+            ),
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (used by ``BENCH_obs.json``)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with O(log buckets) inserts."""
+
+    __slots__ = ("bounds", "_counts", "count", "total", "_min", "_max")
+
+    def __init__(self, bounds: Optional[Tuple[float, ...]] = None) -> None:
+        chosen = bounds if bounds is not None else _DEFAULT_BOUNDS
+        if len(chosen) < 1:
+            raise ConfigurationError("histogram needs at least one bound")
+        if any(b <= a for a, b in zip(chosen, chosen[1:])):
+            raise ConfigurationError(
+                "histogram bounds must be strictly increasing"
+            )
+        self.bounds = chosen
+        # One bucket per bound (values <= bound) plus an overflow bucket.
+        self._counts = [0] * (len(chosen) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError("histograms record non-negative values")
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def percentile(self, fraction: float) -> float:
+        return self.snapshot().percentile(fraction)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self._counts),
+            count=self.count,
+            total=self.total,
+            minimum=self._min if self.count else 0.0,
+            maximum=self._max if self.count else 0.0,
+        )
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+@dataclass
+class _Family:
+    """All series of one metric name (same kind, help and bounds)."""
+
+    name: str
+    kind: str
+    help: str
+    series: Dict[Labels, Metric]
+
+
+class MetricsRegistry:
+    """Named, labelled metric series with deterministic iteration.
+
+    Re-requesting a (name, labels) pair returns the existing instrument;
+    requesting an existing name with a different kind is an error.
+    Collection order is sorted by (name, labels), so exports are stable
+    regardless of creation order.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        metric = self._series(name, "counter", help, labels, Counter)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        metric = self._series(name, "gauge", help, labels, Gauge)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Optional[Tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        metric = self._series(
+            name, "histogram", help, labels, lambda: Histogram(bounds)
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Mapping[str, str],
+        factory: "type[Metric] | object",
+    ) -> Metric:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name=name, kind=kind, help=help, series={})
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        key = _canonical_labels(labels)
+        metric = family.series.get(key)
+        if metric is None:
+            metric = factory()  # type: ignore[operator]
+            family.series[key] = metric
+        return metric
+
+    # -- iteration and snapshots --------------------------------------------
+
+    def families(self) -> List[_Family]:
+        """Families sorted by name (deterministic export order)."""
+        return [
+            self._families[name] for name in sorted(self._families)
+        ]
+
+    def collect(self) -> Iterator[Tuple[str, str, Labels, Metric]]:
+        """Yield ``(name, kind, labels, metric)`` in sorted order."""
+        for family in self.families():
+            for labels in sorted(family.series):
+                yield family.name, family.kind, labels, family.series[labels]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of every series (deterministic key order)."""
+        out: Dict[str, object] = {}
+        for name, kind, labels, metric in self.collect():
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{name}{{{label_text}}}" if label_text else name
+            if isinstance(metric, Histogram):
+                out[key] = dict(metric.snapshot().as_dict(), kind=kind)
+            else:
+                out[key] = {"kind": kind, "value": metric.value}
+        return out

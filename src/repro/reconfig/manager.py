@@ -41,6 +41,8 @@ from typing import (
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId, NodeKind, ObjectId, QuorumConfig
+from repro.obs.context import Observability
+from repro.obs.trace import Span
 from repro.sds.messages import (
     AckConfirm,
     AckNewEpoch,
@@ -85,6 +87,7 @@ class ReconfigurationManager(Node):
         suspect_poll_interval: float = 0.05,
         retransmit_interval: float = 0.5,
         node_id: Optional[NodeId] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(
             sim,
@@ -125,6 +128,7 @@ class ReconfigurationManager(Node):
         self._coarse_in_progress: Optional[QuorumConfig] = None
 
         # Observability.
+        self._obs = obs
         self.reconfigurations_completed = 0
         self.epoch_changes = 0
         self.retransmissions = 0
@@ -216,12 +220,22 @@ class ReconfigurationManager(Node):
         plan current *at lock-acquisition time* so queued reconfigurations
         compose instead of clobbering each other."""
         yield self._mutex.acquire()
+        obs = self._obs
+        span: Optional[Span] = None
+        started_at = self.sim.now
         try:
             old_plan = self._current_plan
             new_plan = build_plan(old_plan)
             new_plan.validate_strict(self._replication_degree)
             self._cfg_no += 1
             cfg_no = self._cfg_no
+            if obs is not None:
+                span = obs.tracer.start_span(
+                    "reconfig.change",
+                    category="reconfig",
+                    node=str(self.node_id),
+                    cfg_no=cfg_no,
+                )
             # Hook for fault-tolerant subclasses: persist the intent
             # before any proxy observes the new configuration.
             self._on_plan_chosen(cfg_no, new_plan)
@@ -244,6 +258,7 @@ class ReconfigurationManager(Node):
                     quorum=max(old_plan.max_read, old_plan.max_write),
                     plan=transition,
                     cfg_no=cfg_no,
+                    parent=span,
                 )
 
             # Phase 2: CONFIRM -> proxies install the new quorum.
@@ -261,10 +276,15 @@ class ReconfigurationManager(Node):
                     quorum=max(new_plan.max_read, new_plan.max_write),
                     plan=new_plan,
                     cfg_no=cfg_no,
+                    parent=span,
                 )
 
             self._current_plan = new_plan
             self.reconfigurations_completed += 1
+            if obs is not None:
+                assert span is not None
+                span.finish(status="ok")
+                obs.reconfig_change.observe(self.sim.now - started_at)
             self._on_reconfiguration_complete(cfg_no, new_plan)
             return cfg_no
         finally:
@@ -309,12 +329,26 @@ class ReconfigurationManager(Node):
                     self.send(proxy, payload, size=_CONTROL_BYTES)
 
     def _epoch_change(
-        self, quorum: int, plan: QuorumPlan, cfg_no: int
+        self,
+        quorum: int,
+        plan: QuorumPlan,
+        cfg_no: int,
+        parent: Optional[Span] = None,
     ) -> Iterator[Future]:
         """The epochChange procedure (Algorithm 2 lines 22-25)."""
         self._epoch_no += 1
         self.epoch_changes += 1
         epoch_no = self._epoch_no
+        span: Optional[Span] = None
+        if self._obs is not None:
+            span = self._obs.tracer.start_span(
+                "reconfig.epoch_change",
+                category="reconfig",
+                node=str(self.node_id),
+                parent=parent.context() if parent is not None else None,
+                epoch_no=epoch_no,
+                quorum=quorum,
+            )
         self._epoch_acks[epoch_no] = set()
         done = self.sim.future(name=f"epoch-{epoch_no}.quorum")
         self._epoch_waiters[epoch_no] = (quorum, done)
@@ -337,6 +371,8 @@ class ReconfigurationManager(Node):
                 self.send(node, message, size=_CONTROL_BYTES)
         del self._epoch_waiters[epoch_no]
         del self._epoch_acks[epoch_no]
+        if span is not None:
+            span.finish(status="ok")
 
     # -- ack handlers ---------------------------------------------------------------
 
@@ -429,6 +465,7 @@ def attach_reconfiguration_manager(
         initial_plan=cluster.initial_plan,
         replication_degree=cluster.config.replication_degree,
         suspect_poll_interval=suspect_poll_interval,
+        obs=getattr(cluster, "obs", None),
     )
     manager.start()
     cluster._nodes_by_id[manager.node_id] = manager

@@ -23,13 +23,15 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Protocol
+from typing import Callable, Iterator, Optional, Protocol, Tuple
 
 from repro.common.config import ClientConfig
 from repro.common.errors import OperationError, RetriesExhaustedError
 from repro.common.types import NodeId, OpType, VersionStamp, ZERO_STAMP
 from repro.metrics.collector import OperationLog
 from repro.metrics.timeline import EventTimeline
+from repro.obs.context import Observability
+from repro.obs.trace import Span
 from repro.sds.messages import (
     ClientOperationFailed,
     ClientRead,
@@ -98,6 +100,7 @@ class ClientNode(Node):
         recorder: Optional[Callable[[OperationRecord], None]] = None,
         policy: Optional[ClientConfig] = None,
         events: Optional[EventTimeline] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._proxy_id = proxy_id
@@ -108,6 +111,7 @@ class ClientNode(Node):
         self._recorder = recorder
         self._policy = (policy or ClientConfig()).validate()
         self._events = events
+        self._obs = obs
         self._request_seq = itertools.count(1)
         self._pending: dict[int, Future] = {}
         self._issue_loop_started = False
@@ -135,10 +139,24 @@ class ClientNode(Node):
             self.spawn(self._issue_loop(), name=f"{self.node_id}.loop")
 
     def _issue_loop(self) -> Iterator:
+        obs = self._obs
         while self.alive:
             operation = self._workload.next_operation(self._rng)
             started_at = self.sim.now
             self.inflight_since = started_at
+            span: Optional[Span] = None
+            if obs is not None:
+                name = (
+                    "client.write"
+                    if operation.op_type is OpType.WRITE
+                    else "client.read"
+                )
+                span = obs.tracer.start_span(
+                    name,
+                    category="client",
+                    node=str(self.node_id),
+                    object=operation.object_id,
+                )
             if (
                 self._recorder is not None
                 and operation.op_type is OpType.WRITE
@@ -157,7 +175,9 @@ class ClientNode(Node):
                     )
                 )
             try:
-                reply = yield from self._perform(operation, started_at)
+                reply = yield from self._perform(
+                    operation, started_at, span=span
+                )
             except OperationError:
                 # Graceful degradation: drop the operation and move on.
                 # A failed write keeps only its inf-completion invocation
@@ -165,6 +185,10 @@ class ClientNode(Node):
                 # treat it as forever concurrent.  A failed read records
                 # nothing.
                 self.operations_failed += 1
+                if obs is not None:
+                    obs.client_failures.inc()
+                    assert span is not None
+                    span.finish(status="failed")
                 self._record(
                     "op-failed",
                     f"{operation.op_type.name.lower()} {operation.object_id}",
@@ -174,9 +198,17 @@ class ClientNode(Node):
                     yield self.sim.sleep(self._think_time)
                 continue
             self.inflight_since = None
+            latency = self.sim.now - started_at
+            if obs is not None:
+                assert span is not None
+                span.finish(status="ok")
+                if operation.op_type is OpType.WRITE:
+                    obs.client_write.observe(latency)
+                else:
+                    obs.client_read.observe(latency)
             self._log.record(
                 completed_at=self.sim.now,
-                latency=self.sim.now - started_at,
+                latency=latency,
                 op_type=operation.op_type,
             )
             if self._recorder is not None:
@@ -205,7 +237,10 @@ class ClientNode(Node):
                 yield self.sim.sleep(self._think_time)
 
     def _perform(
-        self, operation: OperationSpec, started_at: float
+        self,
+        operation: OperationSpec,
+        started_at: float,
+        span: Optional[Span] = None,
     ) -> Iterator:
         """One logical operation: bounded attempts under deadlines.
 
@@ -223,10 +258,13 @@ class ClientNode(Node):
         exact linearizability violation the chaos storms caught.
         """
         policy = self._policy
+        obs = self._obs
         request_id = next(self._request_seq)
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.operation_retries += 1
+                if obs is not None:
+                    obs.client_retries.inc()
                 delay = policy.backoff(attempt - 1)
                 delay += delay * policy.backoff_jitter * self._rng.random()
                 self._record(
@@ -235,7 +273,20 @@ class ClientNode(Node):
                     f"backoff={delay:.3f}",
                 )
                 yield self.sim.sleep(delay)
-            future = self._issue(operation, request_id)
+            attempt_span: Optional[Span] = None
+            trace = None
+            if obs is not None:
+                attempt_span = obs.tracer.start_span(
+                    "client.attempt",
+                    category="client",
+                    node=str(self.node_id),
+                    parent=span.context() if span is not None else None,
+                    object=operation.object_id,
+                    attempt=attempt,
+                    request_id=request_id,
+                )
+                trace = attempt_span.context()
+            future = self._issue(operation, request_id, trace=trace)
             yield any_of(
                 self.sim,
                 [future, self.sim.sleep(policy.attempt_timeout)],
@@ -245,6 +296,8 @@ class ClientNode(Node):
                 # reply is ignored, then back off and retry.
                 self._pending.pop(request_id, None)
                 self.attempt_timeouts += 1
+                if attempt_span is not None:
+                    attempt_span.finish(status="timeout")
                 self._record(
                     "attempt-timeout",
                     f"{operation.object_id} request={request_id}",
@@ -253,11 +306,15 @@ class ClientNode(Node):
             reply = future.value
             if isinstance(reply, ClientOperationFailed):
                 # The proxy gave up gracefully; treat like a timeout.
+                if attempt_span is not None:
+                    attempt_span.finish(status="proxy-gave-up")
                 self._record(
                     "proxy-gave-up",
                     f"{operation.object_id} after {reply.attempts} gathers",
                 )
                 continue
+            if attempt_span is not None:
+                attempt_span.finish(status="ok")
             return reply
         raise RetriesExhaustedError(
             f"{operation.object_id}: no reply within {policy.max_attempts} "
@@ -267,7 +324,12 @@ class ClientNode(Node):
             attempts=policy.max_attempts,
         )
 
-    def _issue(self, operation: OperationSpec, request_id: int) -> Future:
+    def _issue(
+        self,
+        operation: OperationSpec,
+        request_id: int,
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> Future:
         reply_future = self.sim.future(name=f"{self.node_id}.req{request_id}")
         self._pending[request_id] = reply_future
         self.operations_issued += 1
@@ -281,6 +343,7 @@ class ClientNode(Node):
                     request_id=request_id,
                 ),
                 size=_HEADER_BYTES + operation.size,
+                trace=trace,
             )
         else:
             self.send(
@@ -289,6 +352,7 @@ class ClientNode(Node):
                     object_id=operation.object_id, request_id=request_id
                 ),
                 size=_HEADER_BYTES,
+                trace=trace,
             )
         return reply_future
 

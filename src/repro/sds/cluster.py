@@ -18,7 +18,8 @@ from repro.common.rng import substream
 from repro.common.types import NodeId, ObjectId, Version
 from repro.metrics.collector import OperationLog
 from repro.metrics.timeline import EventTimeline
-from repro.sds.client import ClientNode, OperationSource
+from repro.obs.context import Observability
+from repro.sds.client import ClientNode, OperationRecord, OperationSource
 from repro.sds.proxy import ProxyNode
 from repro.sds.quorum import QuorumPlan
 from repro.sds.ring import PlacementRing
@@ -40,13 +41,21 @@ class SwiftCluster:
         top_k: int = 8,
         summary_capacity: int = 256,
         detection_delay: float = 0.5,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = (config or ClusterConfig()).validate()
         self.seed = seed
         self.sim = Simulator()
+        #: Optional observability bundle: when given, every tier is
+        #: instrumented and the tracer follows the simulated clock.
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(lambda: self.sim.now)
         self.network = Network(
             self.sim, self.config.network, rng=substream(seed, "network")
         )
+        if obs is not None:
+            self.network.bind_observability(obs)
         self.crashes = CrashManager(self.sim, self.network)
         self.detector = FailureDetector(
             self.sim, self.crashes, detection_delay=detection_delay
@@ -54,6 +63,10 @@ class SwiftCluster:
         self.log = OperationLog()
         #: Shared audit log: nemesis faults, proxy/client degradation events.
         self.events = EventTimeline()
+        if obs is not None:
+            # Bridge timeline records (nemesis faults in particular) into
+            # the trace as annotations.
+            self.events.bind_observability(obs)
 
         initial_plan = QuorumPlan.uniform(self.config.initial_quorum)
         initial_plan.validate_strict(self.config.replication_degree)
@@ -75,6 +88,7 @@ class SwiftCluster:
                 initial_plan=initial_plan,
                 rng=substream(seed, "storage", node_id.index),
                 ring=self.ring,
+                obs=obs,
             )
             for node_id in storage_ids
         ]
@@ -92,6 +106,7 @@ class SwiftCluster:
                 ),
                 versioning=make_versioning(self.config.versioning),
                 events=self.events,
+                obs=obs,
             )
             for index in range(self.config.num_proxies)
         ]
@@ -111,7 +126,7 @@ class SwiftCluster:
         workload: OperationSource | Callable[[int], OperationSource],
         clients_per_proxy: Optional[int] = None,
         think_time: float = 0.0,
-        recorder=None,
+        recorder: Optional[Callable[[OperationRecord], None]] = None,
     ) -> list[ClientNode]:
         """Attach closed-loop clients, round-robin across proxies.
 
@@ -142,6 +157,7 @@ class SwiftCluster:
                     recorder=recorder,
                     policy=self.config.client,
                     events=self.events,
+                    obs=self.obs,
                 )
                 client.start()
                 self.clients.append(client)
@@ -197,7 +213,7 @@ class SwiftCluster:
 
 
 def build_cluster(
-    config: Optional[ClusterConfig] = None, seed: int = 0, **kwargs
+    config: Optional[ClusterConfig] = None, seed: int = 0, **kwargs: object
 ) -> SwiftCluster:
     """Convenience alias mirroring the public API naming."""
     return SwiftCluster(config=config, seed=seed, **kwargs)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, Tuple
 
 from repro.common.config import ProxyConfig
 from repro.common.errors import GatherTimeoutError, OperationError
@@ -37,6 +37,8 @@ from repro.common.types import (
     VersionStamp,
 )
 from repro.metrics.timeline import EventTimeline
+from repro.obs.context import Observability
+from repro.obs.trace import Span
 from repro.sds.messages import (
     AckConfirm,
     AckNewQuorum,
@@ -82,7 +84,7 @@ class _Gather:
         self.replies: list = []
         self.future = future
 
-    def add_reply(self, reply) -> None:
+    def add_reply(self, reply: Any) -> None:
         if self.future.done:
             return
         self.replies.append(reply)
@@ -108,8 +110,9 @@ class ProxyNode(Node):
         initial_plan: QuorumPlan,
         rng: random.Random,
         stats: Optional[ProxyStatsRecorder] = None,
-        versioning=None,
+        versioning: Any = None,
         events: Optional[EventTimeline] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._versioning = versioning or TimestampVersioning()
@@ -147,6 +150,7 @@ class ProxyNode(Node):
 
         # Observability.
         self._events = events
+        self._obs = obs
         self.operations_completed = 0
         self.operation_retries = 0
         self.read_repairs = 0
@@ -213,9 +217,20 @@ class ProxyNode(Node):
         started_at = self.sim.now
         counter = self._inflight
         counter.increment()
+        span: Optional[Span] = None
+        if self._obs is not None:
+            span = self._obs.tracer.start_span(
+                "proxy.read",
+                category="proxy",
+                node=str(self.node_id),
+                parent=envelope.trace,
+                object=request.object_id,
+            )
         try:
-            version = yield from self._read(request.object_id)
+            version = yield from self._read(request.object_id, span=span)
         except OperationError as error:
+            if span is not None:
+                span.finish(status="failed")
             self._fail_operation(
                 envelope.sender,
                 request.request_id,
@@ -228,6 +243,8 @@ class ProxyNode(Node):
             # Decrement unconditionally: a timed-out operation must not
             # wedge the NEWQ drain barrier of Algorithm 3.
             counter.decrement()
+        if span is not None:
+            span.finish(status="ok")
         if self.stats is not None:
             self.stats.record_access_size(request.object_id, version.size)
         self.send(
@@ -260,11 +277,27 @@ class ProxyNode(Node):
                 str(self.node_id), request.object_id, self.sim.now
             )
             self._write_stamps[envelope.sender] = (request.request_id, stamp)
+        span: Optional[Span] = None
+        if self._obs is not None:
+            span = self._obs.tracer.start_span(
+                "proxy.write",
+                category="proxy",
+                node=str(self.node_id),
+                parent=envelope.trace,
+                object=request.object_id,
+            )
         try:
             yield from self._write(
-                request.object_id, request.value, request.size, stamp
+                request.object_id,
+                request.value,
+                request.size,
+                stamp,
+                span=span,
+                phase="p1",
             )
         except OperationError as error:
+            if span is not None:
+                span.finish(status="failed")
             self._fail_operation(
                 envelope.sender,
                 request.request_id,
@@ -275,6 +308,8 @@ class ProxyNode(Node):
             return
         finally:
             counter.decrement()
+        if span is not None:
+            span.finish(status="ok")
         self._note_stable(request.object_id, stamp)
         self.send(
             envelope.sender,
@@ -285,7 +320,9 @@ class ProxyNode(Node):
         )
         self._complete_operation(self.sim.now - started_at)
 
-    def _read(self, object_id: ObjectId) -> Iterator:
+    def _read(
+        self, object_id: ObjectId, span: Optional[Span] = None
+    ) -> Iterator:
         """Algorithm 4 body; returns the freshest safe :class:`Version`.
 
         Raises :class:`GatherTimeoutError` once every gather attempt —
@@ -297,7 +334,11 @@ class ProxyNode(Node):
         while True:
             read_quorum = self.active_plan().quorum_for(object_id).read
             outcome = yield from self._gather_reads(
-                object_id, read_quorum, rotation_offset=timeouts
+                object_id,
+                read_quorum,
+                rotation_offset=timeouts,
+                parent=span,
+                phase="p1",
             )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
@@ -314,12 +355,18 @@ class ProxyNode(Node):
                 object_id, version.cfg_no, self._cfg_no
             )
             if repair_quorum <= read_quorum:
-                yield from self._stabilise(object_id, version, outcome[1])
+                yield from self._stabilise(
+                    object_id, version, outcome[1], parent=span
+                )
                 self._versioning.observe(object_id, version.stamp)
                 return version
             self.read_repairs += 1
             outcome = yield from self._gather_reads(
-                object_id, repair_quorum, rotation_offset=timeouts
+                object_id,
+                repair_quorum,
+                rotation_offset=timeouts,
+                parent=span,
+                phase="p2",
             )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
@@ -330,7 +377,9 @@ class ProxyNode(Node):
                 )
                 continue
             version = self._freshest(outcome[1])
-            yield from self._stabilise(object_id, version, outcome[1])
+            yield from self._stabilise(
+                object_id, version, outcome[1], parent=span
+            )
             self._versioning.observe(object_id, version.stamp)
             return version
 
@@ -340,11 +389,15 @@ class ProxyNode(Node):
         value: bytes,
         size: int,
         stamp: VersionStamp,
+        span: Optional[Span] = None,
+        phase: Optional[str] = None,
     ) -> Iterator:
         """Algorithm 5 body.
 
         Raises :class:`GatherTimeoutError` after exhausting all rotation
-        retries, like :meth:`_read`.
+        retries, like :meth:`_read`.  ``phase`` labels the gather
+        histogram ("p1" for client writes, ``None`` for stabilise
+        write-backs, which are accounted separately).
         """
         started_at = self.sim.now
         timeouts = 0
@@ -353,6 +406,8 @@ class ProxyNode(Node):
             outcome = yield from self._gather_writes(
                 object_id, value, size, stamp, write_quorum,
                 rotation_offset=timeouts,
+                parent=span,
+                phase=phase,
             )
             if outcome[0] == "nack":
                 self._adopt_from_nack(outcome[1])
@@ -374,6 +429,8 @@ class ProxyNode(Node):
         """Account one gather timeout; raise once the retry budget is spent."""
         timeouts += 1
         self.gather_timeouts += 1
+        if self._obs is not None:
+            self._obs.gather_timeouts.inc()
         if timeouts >= self._config.max_gather_attempts:
             self._record(
                 "gather-exhausted", f"{kind} {object_id} attempts={timeouts}"
@@ -395,6 +452,7 @@ class ProxyNode(Node):
         object_id: ObjectId,
         version: Version,
         replies: list[ReplicaReadReply],
+        parent: Optional[Span] = None,
     ) -> Iterator:
         """Write the freshest version back to a full write quorum before
         the read returns it (ABD phase 2; Alg. 4 line 27).
@@ -430,9 +488,30 @@ class ProxyNode(Node):
             self._note_stable(object_id, version.stamp)
             return
         self.write_backs += 1
-        yield from self._write(
-            object_id, version.value, version.size, version.stamp
-        )
+        obs = self._obs
+        span: Optional[Span] = None
+        started_at = self.sim.now
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "proxy.stabilise",
+                category="proxy",
+                node=str(self.node_id),
+                parent=parent.context() if parent is not None else None,
+                object=object_id,
+            )
+        try:
+            yield from self._write(
+                object_id, version.value, version.size, version.stamp,
+                span=span,
+            )
+        except OperationError:
+            if span is not None:
+                span.finish(status="failed")
+            raise
+        if obs is not None:
+            assert span is not None
+            span.finish(status="ok")
+            obs.stabilise.observe(self.sim.now - started_at)
         self._note_stable(object_id, version.stamp)
 
     def _note_stable(self, object_id: ObjectId, stamp: VersionStamp) -> None:
@@ -443,9 +522,14 @@ class ProxyNode(Node):
     # -- quorum gathering --------------------------------------------------------
 
     def _gather_reads(
-        self, object_id: ObjectId, quorum: int, rotation_offset: int = 0
+        self,
+        object_id: ObjectId,
+        quorum: int,
+        rotation_offset: int = 0,
+        parent: Optional[Span] = None,
+        phase: Optional[str] = None,
     ) -> Iterator:
-        def make_request(op_id: int) -> tuple:
+        def make_request(op_id: int) -> Tuple[Any, int]:
             return (
                 ReplicaRead(
                     object_id=object_id,
@@ -456,7 +540,8 @@ class ProxyNode(Node):
             )
 
         outcome = yield from self._gather(
-            object_id, quorum, make_request, rotation_offset
+            object_id, quorum, make_request, rotation_offset,
+            parent=parent, phase=phase,
         )
         return outcome
 
@@ -468,8 +553,10 @@ class ProxyNode(Node):
         stamp: VersionStamp,
         quorum: int,
         rotation_offset: int = 0,
+        parent: Optional[Span] = None,
+        phase: Optional[str] = None,
     ) -> Iterator:
-        def make_request(op_id: int) -> tuple:
+        def make_request(op_id: int) -> Tuple[Any, int]:
             return (
                 ReplicaWrite(
                     object_id=object_id,
@@ -484,7 +571,8 @@ class ProxyNode(Node):
             )
 
         outcome = yield from self._gather(
-            object_id, quorum, make_request, rotation_offset
+            object_id, quorum, make_request, rotation_offset,
+            parent=parent, phase=phase,
         )
         return outcome
 
@@ -492,8 +580,10 @@ class ProxyNode(Node):
         self,
         object_id: ObjectId,
         quorum: int,
-        make_request,
+        make_request: Callable[[int], Tuple[Any, int]],
         rotation_offset: int = 0,
+        parent: Optional[Span] = None,
+        phase: Optional[str] = None,
     ) -> Iterator:
         """Contact ``quorum`` replicas; fall back to the rest on timeout.
 
@@ -515,6 +605,23 @@ class ProxyNode(Node):
             needed=quorum, future=self.sim.future(name=f"gather-{op_id}")
         )
         self._gathers[op_id] = gather
+        obs = self._obs
+        span: Optional[Span] = None
+        trace: Optional[Tuple[int, int]] = None
+        started_at = self.sim.now
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "proxy.gather",
+                category="proxy",
+                node=str(self.node_id),
+                parent=parent.context() if parent is not None else None,
+                object=object_id,
+                op_id=op_id,
+                quorum=quorum,
+                phase=phase or "",
+                rotation=rotation_offset,
+            )
+            trace = span.context()
         try:
             # Marshalling cost on the proxy CPU, proportional to fan-out.
             yield self._cpu.use(self._config.per_replica_cpu * quorum)
@@ -522,18 +629,30 @@ class ProxyNode(Node):
             deadline = self.sim.sleep(self._config.gather_deadline)
             payload, size = make_request(op_id)
             for replica in order[:quorum]:
-                self.send(replica, payload, size=size)
+                self.send(replica, payload, size=size, trace=trace)
             yield any_of(
                 self.sim,
                 [gather.future, self.sim.sleep(self._config.fallback_timeout)],
             )
             if not gather.future.done and len(order) > quorum:
                 for replica in order[quorum:]:
-                    self.send(replica, payload, size=size)
+                    self.send(replica, payload, size=size, trace=trace)
             yield any_of(self.sim, [gather.future, deadline])
             if not gather.future.done:
+                if span is not None:
+                    span.finish(status="timeout")
                 return ("timeout", None)
-            return gather.future.value
+            outcome = gather.future.value
+            if obs is not None:
+                assert span is not None
+                span.finish(status=outcome[0])
+                if outcome[0] == "ok":
+                    elapsed = self.sim.now - started_at
+                    if phase == "p1":
+                        obs.gather_p1.observe(elapsed)
+                    elif phase == "p2":
+                        obs.gather_p2.observe(elapsed)
+            return outcome
         finally:
             del self._gathers[op_id]
 

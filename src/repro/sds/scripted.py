@@ -21,6 +21,7 @@ also fire several operations and gather them with
 from __future__ import annotations
 
 import itertools
+from typing import Any, Generator
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import NodeId, Version
@@ -119,7 +120,7 @@ def read_value(cluster: SwiftCluster, object_id: str) -> Version:
     """
     client = ScriptedClient(cluster)
 
-    def body():
+    def body() -> Generator[Future, Any, Version]:
         version = yield client.get(object_id)
         return version
 

@@ -16,10 +16,12 @@ a quorum adds load to the storage tier.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 from repro.common.config import StorageConfig
 from repro.common.types import NodeId, ObjectId, Version, missing_version
+from repro.obs.context import Observability
+from repro.obs.trace import Span
 from repro.sds.messages import (
     AckNewEpoch,
     EpochNack,
@@ -53,11 +55,13 @@ class StorageNode(Node):
         initial_plan: QuorumPlan,
         rng: random.Random,
         ring: Optional[PlacementRing] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._config = config.validate()
         self._rng = rng
         self._ring = ring
+        self._obs = obs
         self._versions: dict[ObjectId, Version] = {}
         self._disk = Resource(
             sim, concurrency=config.concurrency, name=f"{node_id}.disk"
@@ -135,8 +139,20 @@ class StorageNode(Node):
     def _on_read(self, envelope: Envelope) -> Iterator:
         message: ReplicaRead = envelope.payload
         if message.epoch_no < self._epoch_no:
-            self._nack(envelope.sender, message.op_id)
+            self._nack(envelope.sender, message.op_id, envelope.trace)
             return
+        obs = self._obs
+        span: Optional[Span] = None
+        started_at = self.sim.now
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "replica.read",
+                category="storage",
+                node=str(self.node_id),
+                parent=envelope.trace,
+                object=message.object_id,
+                op_id=message.op_id,
+            )
         size_hint = self._versions.get(
             message.object_id, missing_version()
         ).size
@@ -155,12 +171,28 @@ class StorageNode(Node):
             ),
             size=_HEADER_BYTES + version.size,
         )
+        if obs is not None:
+            assert span is not None
+            span.finish(status="ok")
+            obs.replica_read.observe(self.sim.now - started_at)
 
     def _on_write(self, envelope: Envelope) -> Iterator:
         message: ReplicaWrite = envelope.payload
         if message.epoch_no < self._epoch_no:
-            self._nack(envelope.sender, message.op_id)
+            self._nack(envelope.sender, message.op_id, envelope.trace)
             return
+        obs = self._obs
+        span: Optional[Span] = None
+        started_at = self.sim.now
+        if obs is not None:
+            span = obs.tracer.start_span(
+                "replica.write",
+                category="storage",
+                node=str(self.node_id),
+                parent=envelope.trace,
+                object=message.object_id,
+                op_id=message.op_id,
+            )
         yield self._disk.use(self._write_service_time(message.size))
         current = self._versions.get(message.object_id)
         # "storage nodes acknowledge the proxy but discard any write
@@ -188,6 +220,10 @@ class StorageNode(Node):
             ),
             size=_HEADER_BYTES,
         )
+        if obs is not None:
+            assert span is not None
+            span.finish(status="ok")
+            obs.replica_write.observe(self.sim.now - started_at)
 
     # -- anti-entropy (Swift's object replicator) -----------------------------------
 
@@ -205,7 +241,11 @@ class StorageNode(Node):
         while self.alive:
             dirty, self._dirty = self._dirty, set()
             pacing = interval / (2 * len(dirty)) if dirty else 0.0
-            for object_id in dirty:
+            # Sorted iteration: ``dirty`` is a set of object ids, and set
+            # order depends on PYTHONHASHSEED — iterating it raw leaks
+            # the interpreter's hash seed into message ordering, breaking
+            # cross-process determinism for the same simulation seed.
+            for object_id in sorted(dirty):
                 version = self._versions.get(object_id)
                 if version is None:
                     continue
@@ -256,8 +296,21 @@ class StorageNode(Node):
         time = config.write_service_time + size / config.write_bandwidth
         return time * self._noise()
 
-    def _nack(self, recipient: NodeId, op_id: int) -> None:
+    def _nack(
+        self,
+        recipient: NodeId,
+        op_id: int,
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self.nacks_sent += 1
+        if self._obs is not None:
+            self._obs.tracer.annotate(
+                "epoch-nack",
+                category="storage",
+                node=str(self.node_id),
+                op_id=op_id,
+                parent_span=trace[1] if trace is not None else 0,
+            )
         self.send(
             recipient,
             EpochNack(

@@ -203,7 +203,9 @@ class VectorVersioning:
         return self._context.get(object_id)
 
 
-def make_versioning(scheme: str):
+def make_versioning(
+    scheme: str,
+) -> "Union[TimestampVersioning, VectorVersioning]":
     """Factory used by the cluster builder (``timestamp`` | ``vector``)."""
     if scheme == "timestamp":
         return TimestampVersioning()

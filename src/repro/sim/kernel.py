@@ -224,6 +224,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._process_count = itertools.count()
         self._unhandled: list[tuple[Process, BaseException]] = []
+        #: Events executed so far; the perf harness divides this by wall
+        #: time for its kernel events/sec regression gate.
+        self.events_processed: int = 0
 
     # -- scheduling ----------------------------------------------------------
 
@@ -274,6 +277,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError("event queue time went backwards")
         self.now = time
+        self.events_processed += 1
         callback(*args)
         self._raise_unhandled()
         return True

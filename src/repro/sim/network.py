@@ -29,13 +29,16 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence, Tuple
 
 from repro.common.config import NetworkConfig
 from repro.common.errors import SimulationError
 from repro.common.types import NodeId
 from repro.sim.kernel import Future, Simulator
 from repro.sim.primitives import Resource
+
+if TYPE_CHECKING:
+    from repro.obs.context import Observability
 
 
 @dataclass
@@ -48,6 +51,9 @@ class Envelope:
     size: int = 0
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    #: Trace context ``(trace_id, parent_span_id)`` propagated from the
+    #: sender, so the receiver's spans join the sender's trace tree.
+    trace: Optional[Tuple[int, int]] = None
 
 
 class Mailbox:
@@ -122,6 +128,8 @@ class Network:
         self._lossy = False
         self._partition: Optional[dict[NodeId, int]] = None
         self._omission: dict[tuple[NodeId, NodeId], float] = {}
+        # Optional observability hook (delivery-latency histogram).
+        self._obs: Optional["Observability"] = None
         #: Delivery counters for observability.
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -151,6 +159,10 @@ class Network:
             self._egress[node_id].utilization(elapsed),
             self._ingress[node_id].utilization(elapsed),
         )
+
+    def bind_observability(self, obs: "Observability") -> None:
+        """Record per-message delivery latency into ``obs``'s histogram."""
+        self._obs = obs
 
     def mailbox(self, node_id: NodeId) -> Mailbox:
         return self._mailboxes[node_id]
@@ -276,6 +288,7 @@ class Network:
         recipient: NodeId,
         payload: Any,
         size: int = 256,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> None:
         """Send asynchronously.
 
@@ -308,6 +321,7 @@ class Network:
             payload=payload,
             size=size,
             sent_at=self._sim.now,
+            trace=trace,
         )
         transmission = size / self._config.bandwidth
         self._egress[sender].use(transmission).add_callback(
@@ -350,6 +364,8 @@ class Network:
             return
         envelope.delivered_at = self._sim.now
         self.messages_delivered += 1
+        if self._obs is not None:
+            self._obs.net_delivery.observe(self._sim.now - envelope.sent_at)
         self._mailboxes[envelope.recipient].deliver(envelope)
 
     # -- internals ------------------------------------------------------------

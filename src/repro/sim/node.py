@@ -11,7 +11,7 @@ storage/proxy/manager protocol code non-blocking.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.common.errors import NodeCrashedError, SimulationError
 from repro.common.types import NodeId
@@ -77,12 +77,22 @@ class Node:
         self._handlers[payload_type] = handler
 
     def send(
-        self, recipient: NodeId, payload: Any, size: int = 256
+        self,
+        recipient: NodeId,
+        payload: Any,
+        size: int = 256,
+        trace: Optional[Tuple[int, int]] = None,
     ) -> None:
-        """Send a payload to another node (async, fire-and-forget)."""
+        """Send a payload to another node (async, fire-and-forget).
+
+        ``trace`` is an optional span context propagated on the envelope
+        so the receiver's spans join the sender's trace.
+        """
         if self.crashed:
             raise NodeCrashedError(f"{self.node_id} is crashed")
-        self.network.send(self.node_id, recipient, payload, size=size)
+        self.network.send(
+            self.node_id, recipient, payload, size=size, trace=trace
+        )
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Run a child process that dies with this node."""

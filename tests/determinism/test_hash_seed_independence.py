@@ -1,0 +1,83 @@
+"""Cross-process determinism: results must not depend on PYTHONHASHSEED.
+
+Python randomizes ``hash()`` (and hence set/dict iteration order) per
+process unless PYTHONHASHSEED is pinned.  Simulation code that iterates
+a set on a timing-relevant path (the storage anti-entropy replicator
+was one such leak: ``for object_id in dirty:`` over a set) produces
+different event orders in different processes while looking perfectly
+deterministic within any single process — the worst kind of flake.
+
+These tests run the same scenario in two *subprocesses* with different
+hash seeds and require identical results.  An in-process rerun cannot
+catch this class of bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+#: Scenario executed by the child process: a chaos-flavoured run that
+#: exercises the replicator (write-heavy, anti-entropy interval shorter
+#: than the run) and prints the canonical result signature as JSON.
+_CHILD_SCRIPT = """
+import json
+from repro.common.config import ClusterConfig, QuorumConfig, StorageConfig
+from repro.sds.cluster import SwiftCluster
+from repro.workloads import ycsb
+
+config = ClusterConfig(
+    num_storage_nodes=5,
+    num_proxies=2,
+    clients_per_proxy=2,
+    replication_degree=5,
+    initial_quorum=QuorumConfig(read=2, write=4),
+    storage=StorageConfig(replication_interval=0.25),
+)
+cluster = SwiftCluster(config=config, seed=11)
+cluster.add_clients(ycsb.build(ycsb.workload_a(num_objects=16), seed=12))
+cluster.run(3.0)
+summary = cluster.log.latency_summary()
+print(json.dumps({
+    "events": cluster.sim.events_processed,
+    "ops": cluster.log.total_operations,
+    "signature_len": len(cluster.events.signature()),
+    "latency": [summary.count, summary.mean, summary.p50,
+                summary.p95, summary.p99, summary.maximum],
+}))
+"""
+
+
+def _run_child(hash_seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+@pytest.mark.slow
+def test_results_identical_across_hash_seeds() -> None:
+    """Two processes with different hash seeds agree exactly.
+
+    Regression test for the replicator set-iteration leak: with the
+    unsorted ``dirty`` set, anti-entropy pushes happened in
+    hash-order, and under contention the winning concurrent write
+    could differ between processes.
+    """
+    baseline = _run_child("0")
+    assert baseline["ops"] > 0
+    for other_seed in ("1", "12345"):
+        assert _run_child(other_seed) == baseline

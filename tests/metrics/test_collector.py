@@ -131,3 +131,49 @@ class TestMovingAverage:
         avg.add(1.0)
         assert len(avg) == 1
         assert not avg.full
+
+
+class TestSortedViewMemoization:
+    """latency_summary memoizes its sorted view between records."""
+
+    @staticmethod
+    def _fill(log: OperationLog, count: int = 200) -> None:
+        # Deterministic but shuffled-looking latencies.
+        for i in range(count):
+            latency = ((i * 7919) % count) / 1000.0
+            op = OpType.READ if i % 3 else OpType.WRITE
+            log.record(completed_at=float(i), latency=latency, op_type=op)
+
+    def test_percentiles_pinned(self):
+        """Memoized summaries match a fresh sort exactly."""
+        log = OperationLog()
+        self._fill(log)
+        first = log.latency_summary()
+        again = log.latency_summary()
+        assert again == first
+        reference = sorted(
+            ((i * 7919) % 200) / 1000.0 for i in range(200)
+        )
+        assert first.count == 200
+        assert first.p50 == percentile(reference, 0.50)
+        assert first.p95 == percentile(reference, 0.95)
+        assert first.p99 == percentile(reference, 0.99)
+        assert first.maximum == reference[-1]
+
+    def test_cache_reused_until_next_record(self):
+        log = OperationLog()
+        self._fill(log, 50)
+        log.latency_summary()
+        cached = log._sorted_cache[None][1]
+        assert log._sorted_latencies(None) is cached
+        log.record(completed_at=100.0, latency=0.5, op_type=OpType.READ)
+        assert log._sorted_latencies(None) is not cached
+
+    def test_cache_invalidated_per_type(self):
+        log = OperationLog()
+        self._fill(log, 60)
+        read_before = log.latency_summary(OpType.READ)
+        log.record(completed_at=100.0, latency=9.9, op_type=OpType.WRITE)
+        # READ list unchanged: same summary; WRITE picks up the record.
+        assert log.latency_summary(OpType.READ) == read_before
+        assert log.latency_summary(OpType.WRITE).maximum == 9.9

@@ -1,0 +1,145 @@
+"""Harness tests: scenario invariants, report shape, determinism, gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BASELINE_FLOOR,
+    BenchInvariantError,
+    PHASES,
+    QUICK_SCENARIOS,
+    Scenario,
+    _check_invariants,
+    _check_phase_ordering,
+    _run_scenario,
+    check_baseline,
+)
+
+
+def _mini(kind: str, duration: float) -> Scenario:
+    return Scenario(f"mini-{kind}", kind, "a", (3, 3), duration)
+
+
+class TestScenarioRuns:
+    def test_workload_scenario_produces_throughput(self):
+        scenario = _mini("workload", 0.8)
+        sim, obs, _cluster, _wall = _run_scenario(scenario, seed=0)
+        _check_invariants(scenario, sim, obs)
+        assert sim["throughput_ops_per_sec"] > 0
+        assert sim["client_read"]["count"] > 0
+
+    def test_sim_section_deterministic_across_runs(self):
+        scenario = _mini("workload", 0.8)
+        first, *_rest = _run_scenario(scenario, seed=0)
+        second, *_rest = _run_scenario(scenario, seed=0)
+        assert first == second
+
+    def test_seed_changes_results(self):
+        scenario = _mini("workload", 0.8)
+        first, *_rest = _run_scenario(scenario, seed=0)
+        second, *_rest = _run_scenario(scenario, seed=1)
+        assert first != second
+
+
+class TestInvariants:
+    def test_chaos_without_faults_rejected(self):
+        # Run the chaos *invariants* against a fault-free run: must trip.
+        scenario = _mini("workload", 0.5)
+        sim, obs, _cluster, _wall = _run_scenario(scenario, seed=0)
+        chaos_like = Scenario("fake-chaos", "chaos", "a", (3, 3), 0.5)
+        with pytest.raises(BenchInvariantError):
+            _check_invariants(chaos_like, sim, obs)
+
+    def test_phase_ordering_catches_inversions(self):
+        bad = {
+            "gather-p1": {
+                "count": 10,
+                "p50": 0.9,
+                "p95": 0.5,
+                "p99": 0.6,
+            }
+        }
+        with pytest.raises(BenchInvariantError):
+            _check_phase_ordering(bad)
+        _check_phase_ordering(
+            {"gather-p1": {"count": 0, "p50": 1, "p95": 0, "p99": 0}}
+        )
+
+    def test_quick_matrix_covers_required_kinds(self):
+        kinds = {scenario.kind for scenario in QUICK_SCENARIOS}
+        assert kinds == {"workload", "chaos", "reconfig"}
+        assert [name for name, _attr in PHASES] == [
+            "gather-p1",
+            "gather-p2",
+            "stabilise",
+            "reconfig-change",
+            "reconfig-quarantine",
+        ]
+
+
+class TestCli:
+    def test_help_renders(self, capsys):
+        # Regression: a literal % in a help string must be escaped for
+        # argparse's %-formatting help expander.
+        from repro.obs.bench import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        assert "BENCH_obs.json" in capsys.readouterr().out
+
+
+class TestBaselineGate:
+    def _report(self, rate: float) -> dict:
+        return {"kernel": {"events_per_second": rate}}
+
+    def test_regression_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(10000.0)))
+        with pytest.raises(BenchInvariantError):
+            check_baseline(
+                self._report(10000.0 * BASELINE_FLOOR * 0.9),
+                str(baseline),
+            )
+
+    def test_within_floor_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self._report(10000.0)))
+        message = check_baseline(self._report(9000.0), str(baseline))
+        assert "9000" in message
+
+
+@pytest.mark.slow
+class TestFullQuickMatrix:
+    def test_quick_matrix_end_to_end(self, tmp_path):
+        from repro.obs.bench import main
+
+        output = tmp_path / "BENCH_obs.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "--quick",
+                "--output",
+                str(output),
+                "--trace",
+                str(trace),
+                "--baseline",
+                "benchmarks/BENCH_obs_baseline.json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["schema"] == "qopt-bench/1"
+        for phase in (
+            "gather-p1",
+            "gather-p2",
+            "stabilise",
+            "reconfig-quarantine",
+        ):
+            assert report["phases"][phase]["count"] > 0
+        assert report["kernel"]["events_per_second"] > 0
+        decoded = json.loads(trace.read_text())
+        assert decoded["traceEvents"]

@@ -1,0 +1,88 @@
+"""Chaos-trace correlation: nemesis faults overlap the retries they cause."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.config import (
+    ClientConfig,
+    ClusterConfig,
+    ProxyConfig,
+    QuorumConfig,
+)
+from repro.common.types import NodeId
+from repro.obs.context import Observability
+from repro.obs.exporters import to_chrome_trace_json
+from repro.obs.trace import TraceQuery
+from repro.sds.cluster import SwiftCluster
+from repro.sim.nemesis import Nemesis
+from repro.workloads import ycsb
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    config = ClusterConfig(
+        num_storage_nodes=5,
+        num_proxies=2,
+        clients_per_proxy=3,
+        replication_degree=5,
+        initial_quorum=QuorumConfig(read=3, write=3),
+        proxy=ProxyConfig(
+            fallback_timeout=0.08, gather_deadline=0.2, max_gather_attempts=2
+        ),
+        client=ClientConfig(
+            attempt_timeout=0.5,
+            max_attempts=6,
+            backoff_base=0.04,
+            backoff_cap=0.2,
+        ),
+    )
+    obs = Observability(tracing=True)
+    cluster = SwiftCluster(config=config, seed=0, obs=obs)
+    cluster.add_clients(
+        ycsb.build(ycsb.workload_a(num_objects=32), seed=1)
+    )
+    nemesis = Nemesis.for_cluster(cluster, seed=0)
+    nemesis.schedule_isolation(
+        at=0.8, duration=0.6, nodes=[NodeId.storage(i) for i in (0, 1, 2)]
+    )
+    cluster.run(2.4)
+    return obs, cluster
+
+
+class TestFaultBridging:
+    def test_timeline_events_become_annotations(self, chaos_run):
+        obs, cluster = chaos_run
+        nemesis_events = cluster.events.of_category("nemesis")
+        assert nemesis_events
+        nemesis_annotations = [
+            a for a in obs.tracer.annotations if a.category == "nemesis"
+        ]
+        assert len(nemesis_annotations) == len(nemesis_events)
+        assert obs.faults.value == len(nemesis_events)
+
+    def test_fault_overlaps_client_attempts(self, chaos_run):
+        obs, _cluster = chaos_run
+        pairs = TraceQuery(obs.tracer).fault_overlaps("client.attempt")
+        assert pairs, (
+            "partition annotations must land inside in-flight "
+            "client.attempt spans"
+        )
+        for annotation, span in pairs:
+            assert span.start <= annotation.time <= span.end
+
+    def test_partition_caused_retries_and_timeouts(self, chaos_run):
+        obs, _cluster = chaos_run
+        assert obs.client_retries.value > 0
+        assert obs.gather_timeouts.value > 0
+
+    def test_chrome_export_contains_fault_instants(self, chaos_run):
+        obs, _cluster = chaos_run
+        decoded = json.loads(to_chrome_trace_json(obs.tracer))
+        instants = [
+            e for e in decoded["traceEvents"] if e["ph"] == "i"
+        ]
+        names = {e["name"] for e in instants}
+        assert "partition" in names

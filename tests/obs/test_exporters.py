@@ -1,0 +1,139 @@
+"""Exporter round-trips: Prometheus text, Chrome trace, JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_prometheus_text,
+    to_trace_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("qopt_retries_total", help="retries", op="read").inc(7)
+    registry.gauge("qopt_inflight").set(3)
+    histogram = registry.histogram(
+        "qopt_latency_seconds", help="op latency"
+    )
+    for value in (0.001, 0.004, 0.004, 0.020, 0.8):
+        histogram.observe(value)
+    return registry
+
+
+def _sample_tracer() -> Tracer:
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    clock.now = 0.5
+    root = tracer.start_span("client.read", category="client", node="c0")
+    clock.now = 0.6
+    child = tracer.start_span(
+        "proxy.gather",
+        category="proxy",
+        node="p0",
+        parent=root.context(),
+        phase="p1",
+    )
+    clock.now = 0.7
+    tracer.annotate("partition", category="nemesis", detail="s0 s1")
+    clock.now = 0.9
+    child.finish()
+    clock.now = 1.0
+    root.finish()
+    return tracer
+
+
+class TestPrometheusRoundTrip:
+    def test_samples_parse_back_to_same_values(self):
+        registry = _sample_registry()
+        text = to_prometheus_text(registry)
+        samples = parse_prometheus_text(text)
+        assert samples["qopt_retries_total{op=\"read\"}"] == 7.0
+        assert samples["qopt_inflight"] == 3.0
+        assert samples["qopt_latency_seconds_count"] == 5.0
+        assert samples["qopt_latency_seconds_sum"] == sum(
+            (0.001, 0.004, 0.004, 0.020, 0.8)
+        )
+
+    def test_bucket_counts_cumulative_and_capped_by_inf(self):
+        text = to_prometheus_text(_sample_registry())
+        samples = parse_prometheus_text(text)
+        buckets = sorted(
+            (float(name.split('le="')[1].rstrip('"}')), value)
+            for name, value in samples.items()
+            if name.startswith("qopt_latency_seconds_bucket")
+            and "+Inf" not in name
+        )
+        counts = [value for _bound, value in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        inf = samples['qopt_latency_seconds_bucket{le="+Inf"}']
+        assert inf == 5.0
+        assert all(value <= inf for value in counts)
+
+    def test_help_and_type_lines_present(self):
+        text = to_prometheus_text(_sample_registry())
+        assert "# HELP qopt_latency_seconds op latency" in text
+        assert "# TYPE qopt_latency_seconds histogram" in text
+        assert "# TYPE qopt_retries_total counter" in text
+
+
+class TestChromeTrace:
+    def test_required_keys_and_monotonic_ts(self):
+        events = to_chrome_trace(_sample_tracer())
+        assert events, "trace must not be empty"
+        phases = {event["ph"] for event in events}
+        assert "X" in phases  # complete spans
+        assert "i" in phases  # instant annotation
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+        ts_values = [
+            event["ts"] for event in events if event["ph"] in ("X", "i")
+        ]
+        assert ts_values == sorted(ts_values)
+
+    def test_durations_in_microseconds(self):
+        events = to_chrome_trace(_sample_tracer())
+        gather = next(e for e in events if e["name"] == "proxy.gather")
+        assert gather["dur"] == (0.9 - 0.6) * 1e6
+
+    def test_json_form_is_valid_and_loadable(self):
+        blob = to_chrome_trace_json(_sample_tracer())
+        decoded = json.loads(blob)
+        assert decoded["displayTimeUnit"] == "ms"
+        assert len(decoded["traceEvents"]) >= 3
+
+    def test_identical_tracers_export_byte_identical(self):
+        assert to_chrome_trace_json(_sample_tracer()) == to_chrome_trace_json(
+            _sample_tracer()
+        )
+        assert to_trace_json(_sample_tracer()) == to_trace_json(
+            _sample_tracer()
+        )
+
+
+class TestTraceJson:
+    def test_span_tree_preserved(self):
+        decoded = json.loads(to_trace_json(_sample_tracer()))
+        spans = {span["name"]: span for span in decoded["spans"]}
+        root = spans["client.read"]
+        child = spans["proxy.gather"]
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+        assert child["attributes"]["phase"] == "p1"
+        annotations = decoded["annotations"]
+        assert annotations[0]["name"] == "partition"
+        assert annotations[0]["category"] == "nemesis"

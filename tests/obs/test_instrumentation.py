@@ -1,0 +1,151 @@
+"""End-to-end instrumentation: span trees, metrics, non-interference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, QuorumConfig
+from repro.obs.context import Observability
+from repro.obs.exporters import to_chrome_trace_json, to_trace_json
+from repro.sds.cluster import SwiftCluster
+from repro.workloads import ycsb
+
+SMALL = ClusterConfig(
+    num_storage_nodes=5,
+    num_proxies=2,
+    clients_per_proxy=2,
+    replication_degree=5,
+    initial_quorum=QuorumConfig(read=3, write=3),
+)
+
+
+def _run(seed: int, obs: Observability | None, duration: float = 1.0):
+    cluster = SwiftCluster(config=SMALL, seed=seed, obs=obs)
+    cluster.add_clients(
+        ycsb.build(ycsb.workload_a(num_objects=16), seed=seed + 1)
+    )
+    cluster.run(duration)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def traced():
+    obs = Observability(tracing=True)
+    cluster = _run(3, obs)
+    return obs, cluster
+
+
+class TestSpanTree:
+    def test_every_attempt_has_a_client_root(self, traced):
+        obs, _cluster = traced
+        roots = {
+            span.span_id: span
+            for span in obs.tracer.spans
+            if span.parent_id is None
+        }
+        attempts = obs.tracer.spans_named("client.attempt")
+        assert attempts
+        for attempt in attempts:
+            assert attempt.parent_id in roots
+            root = roots[attempt.parent_id]
+            assert root.name in ("client.read", "client.write")
+            assert root.trace_id == attempt.trace_id
+
+    def test_full_path_reaches_replicas(self, traced):
+        obs, _cluster = traced
+        by_id = {span.span_id: span for span in obs.tracer.spans}
+
+        def root_of(span):
+            while span.parent_id is not None:
+                span = by_id[span.parent_id]
+            return span
+
+        replica_spans = obs.tracer.spans_named("replica.read")
+        assert replica_spans
+        # Replica work links all the way up to a client root through
+        # proxy spans (attempt -> proxy.read -> proxy.gather -> rpc).
+        for span in replica_spans[:50]:
+            assert root_of(span).category == "client"
+
+    def test_gathers_record_phase(self, traced):
+        obs, _cluster = traced
+        phases = {
+            span.attributes.get("phase")
+            for span in obs.tracer.spans_named("proxy.gather")
+        }
+        assert "p1" in phases
+
+    def test_stabilise_spans_parented_to_proxy_ops(self, traced):
+        obs, _cluster = traced
+        by_id = {span.span_id: span for span in obs.tracer.spans}
+        stabilises = obs.tracer.spans_named("proxy.stabilise")
+        assert stabilises, "workload A must trigger read write-backs"
+        for span in stabilises:
+            assert by_id[span.parent_id].name == "proxy.read"
+
+
+class TestMetricsPopulated:
+    def test_phase_histograms_observe(self, traced):
+        obs, cluster = traced
+        assert obs.gather_p1.count > 0
+        assert obs.client_read.count + obs.client_write.count > 0
+        assert obs.replica_read.count > 0
+        assert obs.net_delivery.count > 0
+        assert (
+            obs.client_read.count + obs.client_write.count
+            == cluster.log.total_operations
+        )
+
+    def test_latencies_match_simulated_scale(self, traced):
+        obs, _cluster = traced
+        # Client ops take on the order of milliseconds in this config.
+        summary = obs.client_read.snapshot().as_dict()
+        assert 0.0005 < summary["p50"] < 0.5
+
+
+class TestNonInterference:
+    """Observability must never change simulation results."""
+
+    @pytest.mark.parametrize(
+        "make_obs",
+        [
+            lambda: None,
+            lambda: Observability(tracing=True),
+            lambda: Observability(tracing=False),
+        ],
+        ids=["no-obs", "tracing-on", "tracing-off"],
+    )
+    def test_signature_identical(self, make_obs):
+        reference = _run(7, None, duration=0.8)
+        cluster = _run(7, make_obs(), duration=0.8)
+        assert (
+            cluster.events.signature() == reference.events.signature()
+        )
+        assert (
+            cluster.log.latency_summary()
+            == reference.log.latency_summary()
+        )
+        assert (
+            cluster.sim.events_processed
+            == reference.sim.events_processed
+        )
+
+    def test_tracing_off_allocates_no_spans(self):
+        obs = Observability(tracing=False)
+        _run(5, obs, duration=0.5)
+        assert obs.tracer.spans == []
+        assert obs.tracer.annotations == []
+        # Histograms still record (cheap O(1) inserts).
+        assert obs.client_read.count + obs.client_write.count > 0
+
+
+class TestExportDeterminism:
+    def test_same_seed_byte_identical_exports(self):
+        first = Observability(tracing=True)
+        second = Observability(tracing=True)
+        _run(9, first, duration=0.6)
+        _run(9, second, duration=0.6)
+        assert to_chrome_trace_json(first.tracer) == to_chrome_trace_json(
+            second.tracer
+        )
+        assert to_trace_json(first.tracer) == to_trace_json(second.tracer)

@@ -1,0 +1,113 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+    def test_same_name_and_labels_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", op="read")
+        b = registry.counter("x_total", op="read")
+        c = registry.counter("x_total", op="write")
+        assert a is b
+        assert a is not c
+
+
+class TestHistogram:
+    def test_percentiles_ordered(self):
+        histogram = Histogram(default_latency_bounds())
+        for i in range(1, 1001):
+            histogram.observe(i / 1000.0)
+        snapshot = histogram.snapshot()
+        summary = snapshot.as_dict()
+        assert summary["count"] == 1000
+        assert 0 < summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["max"] >= summary["p99"]
+
+    def test_negative_observation_rejected(self):
+        histogram = Histogram(default_latency_bounds())
+        with pytest.raises(ConfigurationError):
+            histogram.observe(-0.001)
+
+    def test_merge_equals_combined_stream(self):
+        bounds = default_latency_bounds()
+        left, right, combined = (
+            Histogram(bounds),
+            Histogram(bounds),
+            Histogram(bounds),
+        )
+        for i in range(200):
+            value = (i % 37 + 1) / 500.0
+            (left if i % 2 else right).observe(value)
+            combined.observe(value)
+        merged = left.snapshot().merged(right.snapshot())
+        reference = combined.snapshot().as_dict()
+        summary = merged.as_dict()
+        # Totals are float sums taken in a different order: the mean may
+        # differ by an ulp; everything bucket-derived must match exactly.
+        assert summary["mean"] == pytest.approx(reference["mean"])
+        for key in ("count", "p50", "p95", "p99", "max"):
+            assert summary[key] == reference[key]
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram((0.001, 1.0)).snapshot()
+        b = Histogram((0.002, 1.0)).snapshot()
+        with pytest.raises(ConfigurationError):
+            a.merged(b)
+
+    def test_bucket_resolution_bounds_percentile_error(self):
+        """Log-linear buckets: percentile error is bounded per decade."""
+        histogram = Histogram(default_latency_bounds())
+        for _ in range(100):
+            histogram.observe(0.005)
+        p50 = histogram.percentile(0.5)
+        assert 0.004 <= p50 <= 0.007
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="read").inc(3)
+        registry.histogram("latency_seconds").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot['ops_total{op=read}'] == {
+            "kind": "counter",
+            "value": 3.0,
+        }
+        latency = snapshot["latency_seconds"]
+        assert latency["kind"] == "histogram"
+        assert latency["count"] == 1
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")

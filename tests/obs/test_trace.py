@@ -1,0 +1,139 @@
+"""Unit tests for spans, tracers, and trace queries."""
+
+from __future__ import annotations
+
+from repro.obs.trace import NULL_SPAN, Span, TraceQuery, Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanLifecycle:
+    def test_parent_child_share_trace(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        root = tracer.start_span("client.read", category="client")
+        child = tracer.start_span(
+            "proxy.read", category="proxy", parent=root.context()
+        )
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert tracer.children_of(root) == [child]
+
+    def test_root_spans_get_distinct_traces(self):
+        tracer = Tracer(clock=FakeClock())
+        a = tracer.start_span("a", category="x")
+        b = tracer.start_span("b", category="x")
+        assert a.trace_id != b.trace_id
+
+    def test_finish_is_idempotent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("op", category="x")
+        clock.now = 2.0
+        span.finish(status="failed")
+        clock.now = 5.0
+        span.finish(status="ok")
+        assert span.end == 2.0
+        assert span.status == "failed"
+        assert span.duration == 2.0
+
+    def test_context_crosses_as_plain_tuple(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.start_span("op", category="x")
+        context = span.context()
+        assert context == (span.trace_id, span.span_id)
+        remote = tracer.start_span("remote", category="y", parent=context)
+        assert remote.trace_id == span.trace_id
+
+    def test_attributes_recorded_and_updated(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.start_span("op", category="x", object="obj-1")
+        span.set_attribute("attempt", 2)
+        span.finish(status="ok", outcome="served")
+        assert span.attributes == {
+            "object": "obj-1",
+            "attempt": 2,
+            "outcome": "served",
+        }
+
+
+class TestDisabledTracer:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(clock=FakeClock(), enabled=False)
+        a = tracer.start_span("a", category="x")
+        b = tracer.start_span("b", category="x")
+        assert a is NULL_SPAN
+        assert b is NULL_SPAN
+        assert tracer.spans == []
+
+    def test_null_span_is_inert(self):
+        NULL_SPAN.set_attribute("k", "v")
+        NULL_SPAN.finish(status="failed")
+        assert NULL_SPAN.context() is None
+        assert NULL_SPAN.attributes == {}
+        assert not NULL_SPAN.finished
+
+    def test_disabled_annotations_dropped(self):
+        tracer = Tracer(clock=FakeClock(), enabled=False)
+        tracer.annotate("fault", category="nemesis")
+        assert tracer.annotations == []
+
+
+class TestTraceQuery:
+    def _traced(self) -> Tracer:
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        clock.now = 1.0
+        span = tracer.start_span("client.attempt", category="client")
+        clock.now = 2.0
+        tracer.annotate("partition", category="nemesis", detail="s0")
+        tracer.annotate("retry", category="client")
+        clock.now = 3.0
+        span.finish()
+        other = tracer.start_span("client.attempt", category="client")
+        clock.now = 4.0
+        other.finish()
+        return tracer
+
+    def test_fault_annotations_filtered_by_category(self):
+        query = TraceQuery(self._traced())
+        faults = query.fault_annotations()
+        assert [a.name for a in faults] == ["partition"]
+
+    def test_overlap_requires_time_containment(self):
+        query = TraceQuery(self._traced())
+        pairs = query.fault_overlaps("client.attempt")
+        # Only the first attempt [1, 3] contains t=2; the second
+        # attempt [3, 4] does not.
+        assert len(pairs) == 1
+        annotation, span = pairs[0]
+        assert annotation.name == "partition"
+        assert span.start == 1.0
+
+    def test_spans_overlapping_boundary_inclusive(self):
+        query = TraceQuery(self._traced())
+        assert len(query.spans_overlapping(3.0)) == 2
+
+
+class TestDeterministicIds:
+    def test_same_sequence_of_calls_same_ids(self):
+        def build() -> list[tuple[int, int]]:
+            tracer = Tracer(clock=FakeClock())
+            spans: list[Span] = []
+            root = tracer.start_span("root", category="x")
+            spans.append(root)
+            for _ in range(3):
+                spans.append(
+                    tracer.start_span(
+                        "child", category="x", parent=root.context()
+                    )
+                )
+            return [(s.trace_id, s.span_id) for s in spans]
+
+        assert build() == build()
