@@ -383,7 +383,7 @@ class AutonomicManager(Node):
         return self._rm_targets[-1]
 
     def _request_reconfiguration(
-        self, payload, size: int, expected_round: int
+        self, payload: object, size: int, expected_round: int
     ) -> Iterator:
         """Send a reconfiguration request, failing over between RM
         replicas — and retransmitting to an unsuspected one — until the
@@ -468,6 +468,6 @@ class AutonomicManager(Node):
     def _on_ack_rec(self, envelope: Envelope) -> None:
         self._ack_rec = envelope.payload
 
-    def _broadcast_proxies(self, payload) -> None:
+    def _broadcast_proxies(self, payload: object) -> None:
         for proxy in self._proxies:
             self.send(proxy, payload, size=_CONTROL_BYTES)

@@ -170,6 +170,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="observability perf harness (see python -m repro bench --help)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "serve",
+        help="live runtime: run one protocol node over TCP",
+        add_help=False,
+    )
+    subparsers.add_parser(
+        "cluster",
+        help="live runtime: spawn a local multi-process cluster",
+        add_help=False,
+    )
+    subparsers.add_parser(
+        "loadgen",
+        help="live runtime: benchmark a running cluster (BENCH_net.json)",
+        add_help=False,
+    )
+    subparsers.add_parser(
+        "livesmoke",
+        help="live runtime: end-to-end CI smoke (boot, load, reconfigure)",
+        add_help=False,
+    )
     return parser
 
 
@@ -187,6 +207,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.bench import main as bench_main
 
         return bench_main(arguments[1:])
+    if arguments:
+        # Live-runtime commands own their own flags too.
+        from repro.net.cli import dispatch as net_dispatch
+
+        outcome = net_dispatch(arguments[0], arguments[1:])
+        if outcome is not None:
+            return outcome
     args = build_parser().parse_args(arguments)
     handler, _help = COMMANDS[args.command]
     print(handler(args))

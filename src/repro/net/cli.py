@@ -1,0 +1,239 @@
+"""CLI entry points for the live runtime.
+
+Forwarded from ``python -m repro`` the same way qlint and bench are:
+
+* ``serve``     — run ONE protocol node (replica, proxy or manager);
+* ``cluster``   — spawn a whole local cluster of ``serve`` processes;
+* ``loadgen``   — drive a live benchmark, write ``BENCH_net.json``;
+* ``livesmoke`` — the CI end-to-end gate (boot, load, reconfigure,
+  scrape, verify, shut down).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from typing import List, Optional, Sequence
+
+from repro.net.spec import ClusterSpec, build_spec
+
+
+def _spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--replicas", type=int, default=5)
+    parser.add_argument("--proxies", type=int, default=1)
+    parser.add_argument(
+        "--write-quorum", type=int, default=3,
+        help="initial global write quorum W (R = N - W + 1)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--workload", choices=("a", "b", "c"), default="a",
+        help="YCSB mix: a=50/50, b=95%% reads, c=99%% writes",
+    )
+    parser.add_argument("--object-size", type=int, default=4096)
+    parser.add_argument("--objects", type=int, default=64)
+    parser.add_argument("--duration", type=float, default=5.0)
+
+
+def cmd_serve(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run one live protocol node from a cluster spec.",
+    )
+    parser.add_argument("--spec", required=True, help="cluster JSON path")
+    parser.add_argument(
+        "--node", required=True, help="node name, e.g. storage-0"
+    )
+    args = parser.parse_args(list(argv))
+    spec = ClusterSpec.load(args.spec)
+
+    async def _serve() -> None:
+        from repro.net.runtime import NodeRuntime
+
+        runtime = NodeRuntime(spec, args.node)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, runtime.request_shutdown)
+        await runtime.run_until_shutdown()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_cluster(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Spawn a local live cluster (one process per node).",
+    )
+    _spec_arguments(parser)
+    parser.add_argument(
+        "--duration", type=float, default=0.0,
+        help="run this many seconds then shut down (0 = until Ctrl-C)",
+    )
+    args = parser.parse_args(list(argv))
+    spec = build_spec(
+        replicas=args.replicas,
+        proxies=args.proxies,
+        write_quorum=args.write_quorum,
+        seed=args.seed,
+    )
+
+    async def _run() -> int:
+        from repro.net.cluster import LocalCluster
+
+        cluster = LocalCluster(spec)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        try:
+            cluster.start()
+            await cluster.wait_healthy()
+            print(cluster.describe(), flush=True)
+            print("cluster healthy; Ctrl-C to stop", flush=True)
+            if args.duration > 0:
+                try:
+                    await asyncio.wait_for(stop.wait(), args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+            codes = await cluster.shutdown()
+        finally:
+            cluster.kill()
+        dirty = {name: code for name, code in codes.items() if code != 0}
+        if dirty:
+            print(f"unclean exits: {dirty}", flush=True)
+            return 1
+        print("cluster stopped cleanly", flush=True)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def cmd_loadgen(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description=(
+            "Live benchmark against a running cluster: one timed phase "
+            "per --phase W, with a live reconfiguration between phases."
+        ),
+    )
+    parser.add_argument(
+        "--spec", required=True,
+        help="cluster JSON written by `python -m repro cluster`",
+    )
+    _load_arguments(parser)
+    parser.add_argument(
+        "--phase", type=int, action="append", dest="phases",
+        help="write quorum for one phase (repeatable; default: 4 then 2)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--output", default="BENCH_net.json",
+        help="report path (default BENCH_net.json)",
+    )
+    args = parser.parse_args(list(argv))
+    spec = ClusterSpec.load(args.spec)
+    phases: List[int] = args.phases or [4, 2]
+
+    from repro.net.loadgen import run_bench, write_report
+
+    result = asyncio.run(
+        run_bench(
+            spec,
+            phases=phases,
+            duration=args.duration,
+            clients=args.clients,
+            workload=args.workload,
+            object_size=args.object_size,
+            objects=args.objects,
+            seed=args.seed,
+        )
+    )
+    write_report(
+        result,
+        args.output,
+        extra={
+            "workload": args.workload,
+            "clients": args.clients,
+            "object_size": args.object_size,
+            "objects": args.objects,
+            "seed": args.seed,
+        },
+    )
+    for phase in result.phases:
+        print(
+            f"{phase.name}: {phase.operations} ops "
+            f"({phase.ops_per_sec:.0f}/s), "
+            f"read p99 {phase.latencies['read'].get('p99', 0.0):.4f}s, "
+            f"write p99 {phase.latencies['write'].get('p99', 0.0):.4f}s, "
+            f"{phase.failed} failed"
+        )
+    print(
+        f"history: {result.history_records} records, "
+        f"{result.consistency_violations} violations, "
+        f"linearizable={result.linearizable}"
+    )
+    print(f"report written to {args.output}")
+    if result.total_failed or result.consistency_violations:
+        return 1
+    return 0
+
+
+def cmd_livesmoke(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro livesmoke",
+        description="CI smoke: boot cluster, load, reconfigure, verify.",
+    )
+    _spec_arguments(parser)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--workload", choices=("a", "b", "c"), default="a"
+    )
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument(
+        "--phase", type=int, action="append", dest="phases",
+        help="write quorum per phase (repeatable; default: 4 then 2)",
+    )
+    args = parser.parse_args(list(argv))
+
+    from repro.net.smoke import run_smoke
+
+    report = asyncio.run(
+        run_smoke(
+            replicas=args.replicas,
+            proxies=args.proxies,
+            write_quorums=args.phases or [4, 2],
+            duration=args.duration,
+            clients=args.clients,
+            workload=args.workload,
+            seed=args.seed or 1,
+        )
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+NET_COMMANDS = {
+    "serve": cmd_serve,
+    "cluster": cmd_cluster,
+    "loadgen": cmd_loadgen,
+    "livesmoke": cmd_livesmoke,
+}
+
+
+def dispatch(command: str, argv: Sequence[str]) -> Optional[int]:
+    """Run a net command; ``None`` if the name is not ours."""
+    handler = NET_COMMANDS.get(command)
+    if handler is None:
+        return None
+    return handler(argv)
+
+
+__all__ = ["dispatch", "NET_COMMANDS"]

@@ -1,0 +1,183 @@
+"""Local cluster orchestration: N ``serve`` processes on one machine.
+
+:class:`LocalCluster` is the process-level analogue of the simulator's
+:class:`~repro.sds.cluster.SwiftCluster`: it allocates real ports,
+rewrites the :class:`~repro.net.spec.ClusterSpec`, writes it to disk and
+spawns one ``python -m repro serve`` subprocess per protocol node.  Each
+node is a genuinely separate OS process talking TCP — there is no shared
+memory shortcut — so the topology exercises the same code paths a
+multi-host deployment would, minus the physical network.
+
+Shutdown is graceful-then-forceful: ``GET /shutdown`` on every node,
+bounded wait, then ``terminate()``/``kill()`` for stragglers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.net.httpd import http_get, wait_healthy
+from repro.net.spec import ClusterSpec, NodeAddress
+
+
+def allocate_ports(spec: ClusterSpec) -> ClusterSpec:
+    """Replace every port 0 in the spec with a free ephemeral port.
+
+    All listening sockets are bound simultaneously before any is closed,
+    so the kernel cannot hand the same port out twice within one call.
+    (The usual bind-then-close race against *other* processes remains —
+    acceptable for a local dev/CI cluster.)
+    """
+    held: List[socket.socket] = []
+
+    def claim(host: str) -> int:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind((host, 0))
+        held.append(sock)
+        return int(sock.getsockname()[1])
+
+    def fill(address: NodeAddress) -> NodeAddress:
+        port = address.port or claim(address.host)
+        http_port = address.http_port or claim(address.host)
+        return replace(address, port=port, http_port=http_port)
+
+    try:
+        return replace(
+            spec,
+            replicas=[fill(a) for a in spec.replicas],
+            proxies=[fill(a) for a in spec.proxies],
+            manager=fill(spec.manager),
+        )
+    finally:
+        for sock in held:
+            sock.close()
+
+
+@dataclass
+class NodeProcess:
+    """One spawned ``serve`` worker."""
+
+    address: NodeAddress
+    process: subprocess.Popen
+
+    @property
+    def name(self) -> str:
+        return self.address.name
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return self.process.poll()
+
+
+class LocalCluster:
+    """Spawn and manage one live cluster of local worker processes."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        workdir: Optional[str] = None,
+        python: str = sys.executable,
+    ) -> None:
+        self.spec = allocate_ports(spec.validate()).validate()
+        self._python = python
+        self._workdir = workdir or tempfile.mkdtemp(prefix="qopt-cluster-")
+        self.spec_path = os.path.join(self._workdir, "cluster.json")
+        self.workers: List[NodeProcess] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        with open(self.spec_path, "w", encoding="utf-8") as handle:
+            handle.write(self.spec.to_json() + "\n")
+        env = dict(os.environ)
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else src_root + os.pathsep + existing
+        )
+        for address in self.spec.all_addresses():
+            process = subprocess.Popen(
+                [
+                    self._python,
+                    "-m",
+                    "repro",
+                    "serve",
+                    "--spec",
+                    self.spec_path,
+                    "--node",
+                    address.name,
+                ],
+                env=env,
+            )
+            self.workers.append(NodeProcess(address, process))
+
+    async def wait_healthy(self, deadline: float = 20.0) -> None:
+        for worker in self.workers:
+            await wait_healthy(
+                worker.address.host,
+                worker.address.http_port,
+                deadline=deadline,
+            )
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def shutdown(self, grace: float = 10.0) -> Dict[str, int]:
+        """Stop every worker; returns ``{node name: exit code}``."""
+        for worker in self.workers:
+            if worker.returncode is not None:
+                continue
+            try:
+                await http_get(
+                    worker.address.host,
+                    worker.address.http_port,
+                    "/shutdown",
+                    timeout=3.0,
+                )
+            except (OSError, TimeoutError, ValueError, IndexError):
+                pass  # fall through to terminate below
+        codes: Dict[str, int] = {}
+        for worker in self.workers:
+            try:
+                codes[worker.name] = worker.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                worker.process.terminate()
+                try:
+                    codes[worker.name] = worker.process.wait(timeout=3.0)
+                except subprocess.TimeoutExpired:
+                    worker.process.kill()
+                    codes[worker.name] = worker.process.wait()
+        return codes
+
+    def kill(self) -> None:
+        """Last-resort synchronous cleanup (signal handlers, atexit)."""
+        for worker in self.workers:
+            if worker.returncode is None:
+                worker.process.kill()
+
+    # -- status --------------------------------------------------------------
+
+    def dead_workers(self) -> List[NodeProcess]:
+        return [w for w in self.workers if w.returncode is not None]
+
+    def describe(self) -> str:
+        lines = [f"cluster spec: {self.spec_path}"]
+        for worker in self.workers:
+            address = worker.address
+            lines.append(
+                f"  {address.name:12s} transport {address.host}:{address.port}"
+                f"  http {address.host}:{address.http_port}"
+                f"  pid {worker.process.pid}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["LocalCluster", "NodeProcess", "allocate_ports"]

@@ -1,0 +1,349 @@
+"""Deterministic binary wire format for the Q-OPT protocol messages.
+
+Design goals, in order:
+
+1. **Determinism** — the same value encodes to the same bytes in every
+   process, under every ``PYTHONHASHSEED``.  Mappings are serialized
+   sorted by encoded key, ``frozenset`` elements sorted by encoded
+   element; floats use fixed big-endian IEEE-754 (``inf``/``-inf`` round
+   trip, which ``ZERO_STAMP`` needs).
+2. **Completeness** — every dataclass in :mod:`repro.sds.messages` and
+   every supporting value type it embeds has an explicit entry in
+   :data:`WIRE_TYPES`; the codec tests introspect the messages module to
+   prove nothing is missing.
+3. **Simplicity** — a type-tagged recursive encoding, no schema
+   negotiation.  The class table is append-only: codes are positional,
+   so reordering or removing entries is a wire-format break (the
+   golden-bytes test pins this).
+
+Framing: a frame is a 4-byte big-endian length followed by the encoded
+envelope tuple ``(sender, recipient, size, sent_at, trace, payload)``.
+The length prefix covers everything after itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.types import NodeId, QuorumConfig, Version, VersionStamp
+from repro.sds import messages
+from repro.sds.quorum import QuorumPlan
+from repro.sds.vector_clocks import VectorStamp
+from repro.sim.network import Envelope
+
+
+class CodecError(SimulationError):
+    """Raised on malformed or truncated wire data."""
+
+
+# -- value tags --------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_FROZENSET = 0x08
+_T_MAP = 0x09
+_T_DATACLASS = 0x0A
+
+#: Registered wire classes.  APPEND-ONLY: the class code is the position
+#: in this tuple, so inserting or reordering entries breaks the format.
+WIRE_TYPES: Tuple[type, ...] = (
+    # Supporting value types.
+    NodeId,
+    QuorumConfig,
+    VersionStamp,
+    VectorStamp,
+    Version,
+    QuorumPlan,
+    # Client <-> proxy.
+    messages.ClientRead,
+    messages.ClientWrite,
+    messages.ClientReadReply,
+    messages.ClientWriteReply,
+    messages.ClientOperationFailed,
+    # Proxy <-> storage.
+    messages.ReplicaRead,
+    messages.ReplicaReadReply,
+    messages.ReplicaWrite,
+    messages.ReplicaWriteReply,
+    messages.ReplicaSync,
+    messages.EpochNack,
+    # Reconfiguration manager <-> proxy.
+    messages.NewQuorum,
+    messages.AckNewQuorum,
+    messages.Confirm,
+    messages.AckConfirm,
+    messages.PauseProxy,
+    messages.AckPause,
+    messages.ResumeProxy,
+    # Reconfiguration manager <-> storage.
+    messages.NewEpoch,
+    messages.AckNewEpoch,
+    # Autonomic manager <-> proxy.
+    messages.NewRound,
+    messages.ObjectStats,
+    messages.AggregateStats,
+    messages.RoundStats,
+    messages.NewTopK,
+    # Autonomic manager <-> oracle.
+    messages.NewStats,
+    messages.NewQuorums,
+    messages.TailStats,
+    messages.TailQuorum,
+    # Autonomic manager <-> reconfiguration manager.
+    messages.FineRec,
+    messages.CoarseRec,
+    messages.AckRec,
+)
+
+_CODE_BY_TYPE = {cls: code for code, cls in enumerate(WIRE_TYPES)}
+_FIELDS_BY_TYPE = {
+    cls: tuple(f.name for f in dataclasses.fields(cls)) for cls in WIRE_TYPES
+}
+
+
+# -- varints -----------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CodecError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def _zigzag(value: int) -> int:
+    """Map signed to unsigned, small magnitudes to small codes.
+
+    Arbitrary-precision (Python ints are unbounded): 0,-1,1,-2,2 ... map
+    to 0,1,2,3,4 ...
+    """
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, int):
+        out.append(_T_INT)
+        _write_uvarint(out, _zigzag(value))
+    elif isinstance(value, float):
+        if value != value:  # NaN: breaks round-trip equality and ordering
+            raise CodecError("NaN is not encodable")
+        out.append(_T_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_uvarint(out, len(encoded))
+        out.extend(encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        _write_uvarint(out, len(value))
+        out.extend(value)
+    elif isinstance(value, (tuple, list)):
+        out.append(_T_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, (frozenset, set)):
+        out.append(_T_FROZENSET)
+        _write_uvarint(out, len(value))
+        for encoded_item in sorted(encode_value(item) for item in value):
+            out.extend(encoded_item)
+    elif isinstance(value, dict):
+        out.append(_T_MAP)
+        _write_uvarint(out, len(value))
+        pairs = sorted(
+            (encode_value(key), encode_value(item))
+            for key, item in value.items()
+        )
+        for encoded_key, encoded_item in pairs:
+            out.extend(encoded_key)
+            out.extend(encoded_item)
+    else:
+        code = _CODE_BY_TYPE.get(type(value))
+        if code is None:
+            raise CodecError(
+                f"type {type(value).__name__} is not a registered wire type"
+            )
+        out.append(_T_DATACLASS)
+        _write_uvarint(out, code)
+        for name in _FIELDS_BY_TYPE[type(value)]:
+            _encode_value(out, getattr(value, name))
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value (message payload or embedded field)."""
+    out = bytearray()
+    _encode_value(out, value)
+    return bytes(out)
+
+
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated value")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        raw, offset = _read_uvarint(data, offset)
+        return _unzigzag(raw), offset
+    if tag == _T_FLOAT:
+        if offset + 8 > len(data):
+            raise CodecError("truncated float")
+        return struct.unpack_from(">d", data, offset)[0], offset + 8
+    if tag == _T_STR:
+        length, offset = _read_uvarint(data, offset)
+        if offset + length > len(data):
+            raise CodecError("truncated string")
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        length, offset = _read_uvarint(data, offset)
+        if offset + length > len(data):
+            raise CodecError("truncated bytes")
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == _T_TUPLE:
+        count, offset = _read_uvarint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _T_FROZENSET:
+        count, offset = _read_uvarint(data, offset)
+        elements = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            elements.append(item)
+        return frozenset(elements), offset
+    if tag == _T_MAP:
+        count, offset = _read_uvarint(data, offset)
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_value(data, offset)
+            item, offset = _decode_value(data, offset)
+            mapping[key] = item
+        return mapping, offset
+    if tag == _T_DATACLASS:
+        code, offset = _read_uvarint(data, offset)
+        if code >= len(WIRE_TYPES):
+            raise CodecError(f"unknown wire-type code {code}")
+        cls = WIRE_TYPES[code]
+        values = []
+        for _ in _FIELDS_BY_TYPE[cls]:
+            item, offset = _decode_value(data, offset)
+            values.append(item)
+        return cls(*values), offset
+    raise CodecError(f"unknown value tag {tag:#04x}")
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value; the entire buffer must be consumed."""
+    value, offset = _decode_value(data, 0)
+    if offset != len(data):
+        raise CodecError(
+            f"{len(data) - offset} trailing bytes after decoded value"
+        )
+    return value
+
+
+# -- envelope framing --------------------------------------------------------
+
+#: Bytes of the frame length prefix.
+LENGTH_PREFIX = 4
+
+#: Upper bound on one frame body; a peer announcing more is protocol
+#: garbage (or an attack) and the connection is dropped.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+def encode_frame(envelope: Envelope) -> bytes:
+    """Serialize an envelope as a length-prefixed frame."""
+    body = encode_value(
+        (
+            envelope.sender,
+            envelope.recipient,
+            envelope.size,
+            envelope.sent_at,
+            envelope.trace,
+            envelope.payload,
+        )
+    )
+    if len(body) > MAX_FRAME:
+        raise CodecError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return len(body).to_bytes(LENGTH_PREFIX, "big") + body
+
+
+def decode_frame_body(body: bytes) -> Envelope:
+    """Deserialize a frame body (the bytes after the length prefix)."""
+    decoded = decode_value(body)
+    if not isinstance(decoded, tuple) or len(decoded) != 6:
+        raise CodecError("malformed envelope frame")
+    sender, recipient, size, sent_at, trace, payload = decoded
+    if not isinstance(sender, NodeId) or not isinstance(recipient, NodeId):
+        raise CodecError("envelope endpoints must be NodeIds")
+    return Envelope(
+        sender=sender,
+        recipient=recipient,
+        payload=payload,
+        size=size,
+        sent_at=sent_at,
+        trace=trace,
+    )
+
+
+__all__ = [
+    "CodecError",
+    "WIRE_TYPES",
+    "LENGTH_PREFIX",
+    "MAX_FRAME",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame_body",
+]

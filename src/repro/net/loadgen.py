@@ -1,0 +1,381 @@
+"""Closed-loop load generator and live benchmark for a running cluster.
+
+Runs the *simulator's* :class:`~repro.sds.client.ClientNode` fleet — the
+same closed-loop, deadline-and-retry client code — on a
+:class:`RealtimeKernel` over TCP against a live cluster, in one or more
+timed phases.  Between phases it can drive a live two-phase quorum
+reconfiguration through the manager's HTTP endpoint, YCSB-style:
+
+* per-phase ops/sec and latency percentiles (p50/p95/p99) per op type;
+* a client-observed :class:`~repro.sds.client.OperationRecord` history
+  spanning *all* phases, fed to the repo's linearizability checker —
+  the live analogue of the simulator's consistency gates;
+* a ``BENCH_net.json`` report in the same spirit as ``BENCH_obs.json``.
+
+Write values are tagged with a per-phase prefix on top of the workload's
+globally-unique tokens, so the cross-phase history keeps the unique-value
+property the checker relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.common.rng import substream
+from repro.common.types import NodeId, OpType
+from repro.metrics.collector import OperationLog, percentile
+from repro.net.httpd import http_get, wait_healthy
+from repro.net.kernel import RealtimeKernel
+from repro.net.spec import ClusterSpec
+from repro.net.tcp import TcpTransport
+from repro.sds.client import ClientNode, OperationRecord, OperationSource
+from repro.sds.consistency import HistoryChecker, SearchBudgetExceeded
+from repro.workloads import ycsb
+from repro.workloads.base import Operation, Workload
+
+
+@dataclass(frozen=True)
+class _PhaseTaggedSource:
+    """Wrap a workload so write values are unique across phases."""
+
+    inner: OperationSource
+    tag: bytes
+
+    def next_operation(self, rng: random.Random) -> Operation:
+        operation = self.inner.next_operation(rng)
+        if operation.op_type is OpType.WRITE:
+            return replace(operation, value=self.tag + operation.value)
+        return operation
+
+
+@dataclass
+class PhaseResult:
+    """What one timed load phase measured."""
+
+    name: str
+    write_quorum: int
+    duration: float
+    operations: int
+    ops_per_sec: float
+    failed: int
+    retries: int
+    latencies: Dict[str, Dict[str, float]]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "write_quorum": self.write_quorum,
+            "duration_s": round(self.duration, 3),
+            "operations": self.operations,
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "failed": self.failed,
+            "retries": self.retries,
+            "latency_s": self.latencies,
+        }
+
+
+@dataclass
+class LoadgenResult:
+    """Full outcome of a loadgen/bench run."""
+
+    phases: List[PhaseResult]
+    reconfig_seconds: Optional[float]
+    history_records: int
+    consistency_violations: int
+    linearizable: Optional[bool]
+    records: List[OperationRecord] = field(default_factory=list)
+
+    @property
+    def total_failed(self) -> int:
+        return sum(phase.failed for phase in self.phases)
+
+    def as_dict(self) -> dict:
+        return {
+            "phases": [phase.as_dict() for phase in self.phases],
+            "reconfig_seconds": (
+                None
+                if self.reconfig_seconds is None
+                else round(self.reconfig_seconds, 3)
+            ),
+            "history_records": self.history_records,
+            "consistency_violations": self.consistency_violations,
+            "linearizable": self.linearizable,
+        }
+
+
+def _build_workload(workload: str, object_size: int, objects: int) -> Workload:
+    builders = {
+        "a": ycsb.workload_a,
+        "b": ycsb.workload_b,
+        "c": ycsb.workload_c_paper,
+    }
+    if workload not in builders:
+        raise ValueError(f"unknown workload {workload!r} (use a, b or c)")
+    spec = builders[workload](
+        object_size=object_size, num_objects=objects
+    )
+    return ycsb.build(spec, seed=0)
+
+
+def _summarise(latencies: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    if not ordered:
+        return {"count": 0}
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 6),
+        "p50": round(percentile(ordered, 0.50), 6),
+        "p95": round(percentile(ordered, 0.95), 6),
+        "p99": round(percentile(ordered, 0.99), 6),
+        "max": round(ordered[-1], 6),
+    }
+
+
+class LoadGenerator:
+    """Drives phases of closed-loop clients against a live cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        clients: int = 8,
+        workload: str = "a",
+        object_size: int = 4096,
+        objects: int = 64,
+        seed: int = 1,
+    ) -> None:
+        self.spec = spec
+        self.clients = clients
+        self.workload_name = workload
+        self._workload = _build_workload(workload, object_size, objects)
+        self.seed = seed
+        self.kernel: Optional[RealtimeKernel] = None
+        self.transport: Optional[TcpTransport] = None
+        self.records: List[OperationRecord] = []
+        self._next_client_index = 0
+        #: Per-phase latency samples, collected via the per-phase logs.
+        self._phases: List[PhaseResult] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.kernel = RealtimeKernel()
+        self.transport = TcpTransport(
+            self.kernel,
+            self.spec.directory(),
+            listen_port=None,  # clients only dial out; replies ride back
+            rng=substream(self.seed, "loadgen", "transport"),
+        )
+        await self.transport.start()
+
+    async def stop(self) -> None:
+        if self.transport is not None:
+            await self.transport.stop()
+
+    async def wait_cluster_healthy(self, deadline: float = 20.0) -> None:
+        for address in self.spec.all_addresses():
+            await wait_healthy(
+                address.host, address.http_port, deadline=deadline
+            )
+
+    # -- phases --------------------------------------------------------------
+
+    async def run_phase(
+        self,
+        name: str,
+        duration: float,
+        write_quorum: int,
+        settle: float = 0.2,
+    ) -> PhaseResult:
+        """Run one timed phase with a fresh client fleet."""
+        assert self.kernel is not None and self.transport is not None
+        kernel = self.kernel
+        log = OperationLog()
+        phase_records: List[OperationRecord] = []
+
+        def record(op_record: OperationRecord) -> None:
+            phase_records.append(op_record)
+
+        source = _PhaseTaggedSource(
+            inner=self._workload, tag=f"{name}|".encode("utf-8")
+        )
+        proxies = self.spec.proxy_ids()
+        fleet: List[ClientNode] = []
+        for slot in range(self.clients):
+            index = self._next_client_index
+            self._next_client_index += 1
+            client = ClientNode(
+                kernel,
+                self.transport,
+                NodeId.client(index),
+                proxy_id=proxies[slot % len(proxies)],
+                workload=source,
+                rng=substream(self.seed, "client", index),
+                log=log,
+                recorder=record,
+                policy=self.spec.client,
+            )
+            fleet.append(client)
+
+        start = kernel.tick()
+        for client in fleet:
+            client.start()
+        await asyncio.sleep(duration)
+        # Fail-stop the fleet: in-flight operations keep their
+        # forever-concurrent (inf-completion) write records, exactly like
+        # a client crash in the simulator.
+        for client in fleet:
+            client.crash()
+        elapsed = kernel.tick() - start
+        # Give late replies a moment to drain out of the sockets so they
+        # are dropped against crashed mailboxes, not the next phase.
+        await asyncio.sleep(settle)
+
+        self.records.extend(phase_records)
+        completed = [
+            r for r in phase_records if r.completed_at != float("inf")
+        ]
+        reads = [
+            r.completed_at - r.invoked_at
+            for r in completed
+            if r.op_type is OpType.READ
+        ]
+        writes = [
+            r.completed_at - r.invoked_at
+            for r in completed
+            if r.op_type is OpType.WRITE
+        ]
+        result = PhaseResult(
+            name=name,
+            write_quorum=write_quorum,
+            duration=elapsed,
+            operations=len(completed),
+            ops_per_sec=len(completed) / elapsed if elapsed > 0 else 0.0,
+            failed=sum(client.operations_failed for client in fleet),
+            retries=sum(client.operation_retries for client in fleet),
+            latencies={
+                "read": _summarise(reads),
+                "write": _summarise(writes),
+                "all": _summarise(reads + writes),
+            },
+        )
+        self._phases.append(result)
+        return result
+
+    # -- reconfiguration -----------------------------------------------------
+
+    async def reconfigure(self, write_quorum: int) -> float:
+        """Drive a live global reconfiguration; returns wall seconds."""
+        assert self.kernel is not None
+        manager = self.spec.manager
+        begin = self.kernel.tick()
+        status, body = await http_get(
+            manager.host,
+            manager.http_port,
+            f"/reconfig?write={write_quorum}",
+            timeout=30.0,
+        )
+        if status != 200:
+            raise RuntimeError(f"reconfiguration failed: {status} {body!r}")
+        return self.kernel.tick() - begin
+
+    # -- reporting -----------------------------------------------------------
+
+    def check_history(
+        self, max_states: int = 200_000
+    ) -> tuple[int, Optional[bool]]:
+        """Run the consistency + linearizability checkers on the history.
+
+        Reads that completed without observing any write decode against
+        the register's initial value; the checker handles that natively.
+        Returns ``(violations, linearizable)`` where ``linearizable`` is
+        ``None`` when the search budget was exceeded.
+        """
+        checker = HistoryChecker()
+        for op_record in self.records:
+            checker.record(op_record)
+        violations = checker.check()
+        linearizable: Optional[bool]
+        try:
+            lin_violations = checker.check_linearizable(
+                max_states=max_states
+            )
+            linearizable = not lin_violations
+            violations = list(violations) + list(lin_violations)
+        except SearchBudgetExceeded:
+            linearizable = None  # not refuted, just too costly to confirm
+        return len(violations), linearizable
+
+    def result(
+        self, reconfig_seconds: Optional[float]
+    ) -> LoadgenResult:
+        violations, linearizable = self.check_history()
+        return LoadgenResult(
+            phases=list(self._phases),
+            reconfig_seconds=reconfig_seconds,
+            history_records=len(self.records),
+            consistency_violations=violations,
+            linearizable=linearizable,
+            records=list(self.records),
+        )
+
+
+async def run_bench(
+    spec: ClusterSpec,
+    phases: List[int],
+    duration: float = 5.0,
+    clients: int = 8,
+    workload: str = "a",
+    object_size: int = 4096,
+    objects: int = 64,
+    seed: int = 1,
+) -> LoadgenResult:
+    """The live benchmark: one timed phase per write-quorum in ``phases``,
+    with a live reconfiguration before each phase after the first."""
+    generator = LoadGenerator(
+        spec,
+        clients=clients,
+        workload=workload,
+        object_size=object_size,
+        objects=objects,
+        seed=seed,
+    )
+    await generator.start()
+    try:
+        await generator.wait_cluster_healthy()
+        reconfig_total: Optional[float] = None
+        for position, write_quorum in enumerate(phases):
+            if position > 0:
+                took = await generator.reconfigure(write_quorum)
+                reconfig_total = (reconfig_total or 0.0) + took
+            elif write_quorum != spec.initial_write_quorum:
+                took = await generator.reconfigure(write_quorum)
+                reconfig_total = (reconfig_total or 0.0) + took
+            await generator.run_phase(
+                name=f"W={write_quorum}",
+                duration=duration,
+                write_quorum=write_quorum,
+            )
+        return generator.result(reconfig_total)
+    finally:
+        await generator.stop()
+
+
+def write_report(result: LoadgenResult, path: str, extra: dict) -> None:
+    """Write ``BENCH_net.json``-style output."""
+    payload = dict(extra)
+    payload.update(result.as_dict())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = [
+    "LoadGenerator",
+    "LoadgenResult",
+    "PhaseResult",
+    "run_bench",
+    "write_report",
+]

@@ -1,0 +1,224 @@
+"""One live-runtime process: kernel + transport + protocol node + HTTP.
+
+:class:`NodeRuntime` assembles what :class:`~repro.sds.cluster.SwiftCluster`
+assembles for the simulator, but on the live stack: a
+:class:`~repro.net.kernel.RealtimeKernel`, a
+:class:`~repro.net.tcp.TcpTransport` and exactly one protocol node —
+a storage replica, a proxy, or the reconfiguration manager — plus the
+process's observability bundle and its HTTP endpoint.
+
+RNG seeding reuses the cluster's substream discipline
+(``substream(seed, kind, index)``), so a node's stochastic decisions
+(anti-entropy scan offsets, backoff jitter) are reproducible given the
+spec's seed even though event *timing* is now the hardware's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import substream
+from repro.common.types import NodeId, NodeKind, QuorumConfig
+from repro.net.httpd import Handler, MiniHttpServer
+from repro.net.kernel import RealtimeKernel
+from repro.net.spec import ClusterSpec, NodeAddress
+from repro.net.tcp import TcpTransport
+from repro.obs.context import Observability
+from repro.obs.exporters import to_prometheus_text
+from repro.reconfig.manager import ReconfigurationManager
+from repro.sds.proxy import ProxyNode
+from repro.sds.storage import StorageNode
+
+
+class NeverSuspect:
+    """The live runtime's trivially optimistic failure detector.
+
+    The reconfiguration protocol is indulgent: a detector that never
+    suspects can only delay epoch changes (the RM keeps retransmitting to
+    an unresponsive proxy), never violate safety.  Wiring a real
+    heartbeat detector through :class:`~repro.sim.failure.SuspicionSource`
+    is the natural next step and needs no protocol change.
+    """
+
+    def suspect(self, node_id: NodeId) -> bool:
+        del node_id
+        return False
+
+
+#: The node classes a runtime can host.
+LiveNode = Union[StorageNode, ProxyNode, ReconfigurationManager]
+
+
+class NodeRuntime:
+    """Everything one ``python -m repro serve`` process runs."""
+
+    def __init__(self, spec: ClusterSpec, node_name: str) -> None:
+        self.spec = spec
+        self.address: NodeAddress = spec.address_of(node_name)
+        self.node_id = self.address.node_id
+        self.kernel: RealtimeKernel = RealtimeKernel()
+        self.obs = Observability(
+            tracing=False, clock=lambda: self.kernel.now
+        )
+        self.transport = TcpTransport(
+            self.kernel,
+            spec.directory(),
+            listen_host=self.address.host,
+            listen_port=self.address.port,
+            rng=substream(spec.seed, "net", str(self.node_id)),
+        )
+        self.node: LiveNode = self._build_node()
+        self._shutdown = asyncio.Event()
+        self.http = MiniHttpServer(
+            self.address.host,
+            self.address.http_port,
+            routes=self._routes(),
+        )
+
+    # -- node construction ---------------------------------------------------
+
+    def _build_node(self) -> LiveNode:
+        spec = self.spec
+        kind = self.node_id.kind
+        plan = spec.initial_plan()
+        if kind == NodeKind.STORAGE.value:
+            return StorageNode(
+                self.kernel,
+                self.transport,
+                self.node_id,
+                config=spec.storage,
+                initial_plan=plan,
+                rng=substream(spec.seed, "storage", self.node_id.index),
+                ring=spec.ring(),
+                obs=self.obs,
+            )
+        if kind == NodeKind.PROXY.value:
+            return ProxyNode(
+                self.kernel,
+                self.transport,
+                self.node_id,
+                ring=spec.ring(),
+                config=spec.proxy,
+                initial_plan=plan,
+                rng=substream(spec.seed, "proxy", self.node_id.index),
+                obs=self.obs,
+            )
+        if kind == NodeKind.RECONFIG_MANAGER.value:
+            return ReconfigurationManager(
+                self.kernel,
+                self.transport,
+                proxies=spec.proxy_ids(),
+                storage_nodes=spec.storage_ids(),
+                detector=NeverSuspect(),
+                initial_plan=plan,
+                replication_degree=spec.replication_degree,
+                obs=self.obs,
+            )
+        raise ConfigurationError(f"cannot serve node kind {kind!r}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.start()
+        await self.http.start()
+        self.node.start()
+
+    async def run_until_shutdown(self) -> None:
+        await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self.node.crash()  # fail-stop: kill the receive loop and children
+        await self.http.stop()
+        await self.transport.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # -- HTTP ----------------------------------------------------------------
+
+    def _routes(self) -> Dict[str, Handler]:
+        routes: Dict[str, Handler] = {
+            "/metrics": self._handle_metrics,
+            "/healthz": self._handle_healthz,
+            "/shutdown": self._handle_shutdown,
+        }
+        if isinstance(self.node, ReconfigurationManager):
+            routes["/reconfig"] = self._handle_reconfig
+        return routes
+
+    async def _handle_metrics(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, str, str]:
+        del query
+        self._export_runtime_gauges()
+        return 200, "text/plain; version=0.0.4", to_prometheus_text(
+            self.obs.registry
+        )
+
+    def _export_runtime_gauges(self) -> None:
+        registry = self.obs.registry
+        node = str(self.node_id)
+        transport = self.transport
+        registry.gauge(
+            "qopt_transport_messages_total",
+            help="transport delivery counters",
+            node=node, direction="sent",
+        ).set(float(transport.messages_sent))
+        registry.gauge(
+            "qopt_transport_messages_total", node=node, direction="delivered"
+        ).set(float(transport.messages_delivered))
+        registry.gauge(
+            "qopt_transport_messages_total", node=node, direction="dropped"
+        ).set(float(transport.messages_dropped))
+        registry.gauge(
+            "qopt_transport_bytes_sent", help="payload bytes sent", node=node
+        ).set(float(transport.bytes_sent))
+        registry.gauge(
+            "qopt_kernel_events_total",
+            help="kernel callbacks dispatched", node=node,
+        ).set(float(self.kernel.events_processed))
+        registry.gauge(
+            "qopt_kernel_crashes_total",
+            help="unhandled process crashes", node=node,
+        ).set(float(len(self.kernel.crashes)))
+
+    async def _handle_healthz(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, str, str]:
+        del query
+        return 200, "text/plain", f"ok {self.node_id}\n"
+
+    async def _handle_shutdown(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, str, str]:
+        del query
+        self.request_shutdown()
+        return 200, "text/plain", "shutting down\n"
+
+    async def _handle_reconfig(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, str, str]:
+        manager = self.node
+        assert isinstance(manager, ReconfigurationManager)
+        raw = query.get("write")
+        if raw is None or not raw.isdigit():
+            return 400, "text/plain", "need ?write=<W>\n"
+        try:
+            quorum = QuorumConfig.from_write(
+                int(raw), self.spec.replication_degree
+            )
+        except ConfigurationError as exc:
+            return 400, "text/plain", f"{exc}\n"
+        process = manager.change_global(quorum)
+        await self.kernel.wrap_future(process.result)
+        return 200, "text/plain", (
+            f"installed {quorum} as cfg_no={manager.cfg_no} "
+            f"epoch={manager.epoch_no}\n"
+        )
+
+
+__all__ = ["NodeRuntime", "NeverSuspect"]

@@ -1,0 +1,295 @@
+"""Cluster specification shared by every live-runtime process.
+
+``python -m repro cluster`` allocates ports, writes the spec as JSON and
+spawns one ``python -m repro serve`` process per node; ``serve``,
+``loadgen`` and the examples all reconstruct the same topology from that
+file.  The spec is also the place where the live profile lives: the sim
+service-time model priced in *simulated* seconds what the live runtime
+now pays in real CPU, syscalls and wire time, so the live configs zero
+out the modelled service times and keep only the protocol-level knobs
+(deadlines, retry budgets, anti-entropy cadence).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import ClientConfig, ProxyConfig, StorageConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import NodeId, NodeKind, QuorumConfig
+from repro.sds.quorum import QuorumPlan
+from repro.sds.ring import PlacementRing
+
+#: Spec format version, bumped on incompatible layout changes.
+SPEC_VERSION = 1
+
+
+def parse_node_name(name: str) -> NodeId:
+    """Parse the ``kind-index`` string form back into a :class:`NodeId`."""
+    kind, _, index = name.rpartition("-")
+    if not kind or not index.isdigit():
+        raise ConfigurationError(f"malformed node name {name!r}")
+    return NodeId(kind=kind, index=int(index))
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """Where one protocol node lives: transport plus HTTP endpoints."""
+
+    name: str
+    host: str
+    port: int
+    http_port: int
+
+    @property
+    def node_id(self) -> NodeId:
+        return parse_node_name(self.name)
+
+
+@dataclass
+class ClusterSpec:
+    """Topology + tuning of one live cluster, as shipped between processes."""
+
+    replicas: List[NodeAddress]
+    proxies: List[NodeAddress]
+    manager: NodeAddress
+    replication_degree: int = 5
+    initial_write_quorum: int = 3
+    seed: int = 0
+    version: int = SPEC_VERSION
+    storage: StorageConfig = field(default_factory=lambda: live_storage_config())
+    proxy: ProxyConfig = field(default_factory=lambda: live_proxy_config())
+    client: ClientConfig = field(default_factory=lambda: live_client_config())
+
+    # -- derived topology ----------------------------------------------------
+
+    def validate(self) -> "ClusterSpec":
+        if not self.replicas:
+            raise ConfigurationError("spec needs at least one replica")
+        if not self.proxies:
+            raise ConfigurationError("spec needs at least one proxy")
+        if self.replication_degree > len(self.replicas):
+            raise ConfigurationError(
+                f"replication degree {self.replication_degree} exceeds "
+                f"replica count {len(self.replicas)}"
+            )
+        self.initial_quorum().validate_strict(self.replication_degree)
+        self.storage.validate()
+        self.proxy.validate()
+        self.client.validate()
+        return self
+
+    def initial_quorum(self) -> QuorumConfig:
+        return QuorumConfig.from_write(
+            self.initial_write_quorum, self.replication_degree
+        )
+
+    def initial_plan(self) -> QuorumPlan:
+        return QuorumPlan.uniform(self.initial_quorum())
+
+    def storage_ids(self) -> List[NodeId]:
+        return [address.node_id for address in self.replicas]
+
+    def proxy_ids(self) -> List[NodeId]:
+        return [address.node_id for address in self.proxies]
+
+    def ring(self) -> PlacementRing:
+        """The placement ring — identical in every process by construction."""
+        return PlacementRing(
+            self.storage_ids(), replication_degree=self.replication_degree
+        )
+
+    def all_addresses(self) -> List[NodeAddress]:
+        return list(self.replicas) + list(self.proxies) + [self.manager]
+
+    def address_of(self, name: str) -> NodeAddress:
+        for address in self.all_addresses():
+            if address.name == name:
+                return address
+        raise ConfigurationError(f"node {name!r} not in spec")
+
+    def directory(self) -> Dict[NodeId, Tuple[str, int]]:
+        """Static transport directory: node id -> (host, port)."""
+        return {
+            address.node_id: (address.host, address.port)
+            for address in self.all_addresses()
+        }
+
+    # -- JSON ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        def addr(address: NodeAddress) -> dict:
+            return {
+                "name": address.name,
+                "host": address.host,
+                "port": address.port,
+                "http_port": address.http_port,
+            }
+
+        return json.dumps(
+            {
+                "version": self.version,
+                "replication_degree": self.replication_degree,
+                "initial_write_quorum": self.initial_write_quorum,
+                "seed": self.seed,
+                "replicas": [addr(a) for a in self.replicas],
+                "proxies": [addr(a) for a in self.proxies],
+                "manager": addr(self.manager),
+                "storage": vars(self.storage),
+                "proxy": vars(self.proxy),
+                "client": vars(self.client),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ClusterSpec":
+        raw = json.loads(text)
+        if raw.get("version") != SPEC_VERSION:
+            raise ConfigurationError(
+                f"spec version {raw.get('version')!r} != {SPEC_VERSION}"
+            )
+
+        def addr(data: dict) -> NodeAddress:
+            return NodeAddress(
+                name=data["name"],
+                host=data["host"],
+                port=int(data["port"]),
+                http_port=int(data["http_port"]),
+            )
+
+        return ClusterSpec(
+            replicas=[addr(a) for a in raw["replicas"]],
+            proxies=[addr(a) for a in raw["proxies"]],
+            manager=addr(raw["manager"]),
+            replication_degree=int(raw["replication_degree"]),
+            initial_write_quorum=int(raw["initial_write_quorum"]),
+            seed=int(raw["seed"]),
+            storage=StorageConfig(**raw["storage"]),
+            proxy=ProxyConfig(**raw["proxy"]),
+            client=ClientConfig(**raw["client"]),
+        ).validate()
+
+    @staticmethod
+    def load(path: str) -> "ClusterSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return ClusterSpec.from_json(handle.read())
+
+
+# -- live profiles -----------------------------------------------------------
+
+
+def live_storage_config() -> StorageConfig:
+    """Storage knobs for real hardware.
+
+    Modelled service times and bandwidth throttles go to ~zero — the
+    process now pays real syscall and scheduling costs instead.  The
+    anti-entropy replicator stays on at a relaxed cadence.
+    """
+    return StorageConfig(
+        read_service_time=0.0,
+        write_service_time=0.0,
+        read_bandwidth=1e12,
+        write_bandwidth=1e12,
+        read_miss_ratio=0.0,
+        read_miss_penalty=0.0,
+        concurrency=64,
+        replication_interval=5.0,
+    )
+
+
+def live_proxy_config() -> ProxyConfig:
+    """Proxy knobs for real hardware: wall-clock-scaled deadlines."""
+    return ProxyConfig(
+        per_replica_cpu=0.0,
+        concurrency=64,
+        fallback_timeout=0.25,
+        gather_deadline=2.0,
+        max_gather_attempts=3,
+    )
+
+
+def live_client_config() -> ClientConfig:
+    """Client retry/deadline policy for real round trips."""
+    return ClientConfig(
+        attempt_timeout=8.0,
+        max_attempts=4,
+        backoff_base=0.05,
+        backoff_cap=1.0,
+        backoff_jitter=0.5,
+    )
+
+
+def build_spec(
+    replicas: int = 5,
+    proxies: int = 1,
+    write_quorum: int = 3,
+    replication_degree: Optional[int] = None,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+    seed: int = 0,
+) -> ClusterSpec:
+    """Construct a spec for a local cluster.
+
+    ``base_port=0`` leaves every port 0 — the cluster runner then binds
+    ephemeral ports and rewrites the spec before spawning workers.
+    """
+
+    def ports(offset: int) -> Tuple[int, int]:
+        if base_port == 0:
+            return (0, 0)
+        return (base_port + 2 * offset, base_port + 2 * offset + 1)
+
+    degree = replication_degree if replication_degree is not None else replicas
+    replica_addresses = []
+    for index in range(replicas):
+        port, http_port = ports(index)
+        replica_addresses.append(
+            NodeAddress(
+                name=str(NodeId.storage(index)),
+                host=host,
+                port=port,
+                http_port=http_port,
+            )
+        )
+    proxy_addresses = []
+    for index in range(proxies):
+        port, http_port = ports(replicas + index)
+        proxy_addresses.append(
+            NodeAddress(
+                name=str(NodeId.proxy(index)),
+                host=host,
+                port=port,
+                http_port=http_port,
+            )
+        )
+    manager_port, manager_http = ports(replicas + proxies)
+    manager = NodeAddress(
+        name=str(NodeId.singleton(NodeKind.RECONFIG_MANAGER)),
+        host=host,
+        port=manager_port,
+        http_port=manager_http,
+    )
+    return ClusterSpec(
+        replicas=replica_addresses,
+        proxies=proxy_addresses,
+        manager=manager,
+        replication_degree=degree,
+        initial_write_quorum=write_quorum,
+        seed=seed,
+    ).validate()
+
+
+__all__ = [
+    "SPEC_VERSION",
+    "NodeAddress",
+    "ClusterSpec",
+    "parse_node_name",
+    "build_spec",
+    "live_storage_config",
+    "live_proxy_config",
+    "live_client_config",
+]

@@ -1,0 +1,58 @@
+"""The transport seam between protocol code and the message fabric.
+
+Every protocol participant (:class:`~repro.sim.node.Node` and its
+subclasses) talks to the outside world through exactly two calls:
+
+* ``register(node_id) -> Mailbox`` — claim an inbox once, at startup;
+* ``send(sender, recipient, payload, size=..., trace=...)`` — async,
+  fire-and-forget delivery with FIFO order per (sender, recipient) pair.
+
+:class:`Transport` captures that surface as a structural
+:class:`~typing.Protocol`, so the simulated
+:class:`~repro.sim.network.Network` satisfies it *unchanged* and the live
+:class:`~repro.net.tcp.TcpTransport` implements it over real sockets.
+The protocol code is oblivious to which one it runs on — that is the
+whole point: the live runtime executes the very generators the
+determinism suite pins bit-for-bit in simulation.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.common.types import NodeId
+
+if TYPE_CHECKING:
+    # Type-only: importing repro.sim.network at runtime would cycle
+    # (sim.node imports this module for the seam annotation).
+    from repro.sim.network import Mailbox
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a protocol node needs from the message fabric."""
+
+    def register(self, node_id: NodeId) -> Mailbox:
+        """Claim the inbox for ``node_id``; called once per node."""
+        ...  # pragma: no cover - protocol definition
+
+    def send(
+        self,
+        sender: NodeId,
+        recipient: NodeId,
+        payload: Any,
+        size: int = 256,
+        trace: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Deliver ``payload`` asynchronously; FIFO per directed pair."""
+        ...  # pragma: no cover - protocol definition
+
+
+__all__ = ["Transport"]

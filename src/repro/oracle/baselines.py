@@ -102,7 +102,12 @@ class FixedRuleBaseline:
             raise DatasetError("write_quorum must be >= 1")
         self._label = write_quorum
 
-    def fit(self, features, labels) -> "FixedRuleBaseline":
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        labels: Sequence[int],
+    ) -> "FixedRuleBaseline":
+        del features, labels  # workload-oblivious: nothing to learn
         return self
 
     def predict_one(self, features: Sequence[float]) -> int:

@@ -11,7 +11,7 @@ becomes the label.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.analysis.mva import MvaThroughputModel, WorkloadPoint
 from repro.common.errors import DatasetError
@@ -51,7 +51,7 @@ class TrainingSet:
     def __len__(self) -> int:
         return len(self.examples)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[LabeledWorkload]:
         return iter(self.examples)
 
     @property

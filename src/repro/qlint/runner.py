@@ -18,8 +18,13 @@ from repro.qlint.findings import Finding, Severity
 from repro.qlint.quorum_safety import QuorumSafetyLinter
 
 #: Packages the determinism rules walk by default, relative to the
-#: ``repro`` package root.
-DETERMINISM_PACKAGES = ("sim", "sds", "autonomic", "reconfig", "common")
+#: ``repro`` package root.  ``net`` (the live runtime) is in scope too:
+#: its wall-clock/entropy use is waived file-by-file via the
+#: ``[tool.qlint] nondeterminism_allowed`` prefixes, while QD003/QD004
+#: stay enforced there — a blanket skip would lose those.
+DETERMINISM_PACKAGES = (
+    "sim", "sds", "autonomic", "reconfig", "common", "net"
+)
 
 ALL_RULES = tuple(DeterminismLinter.rules) + tuple(QuorumSafetyLinter.rules)
 
@@ -38,6 +43,74 @@ RULE_SUMMARIES = {
 def repro_root() -> Path:
     """The installed ``repro`` package directory (i.e. ``src/repro``)."""
     return Path(__file__).resolve().parent.parent
+
+
+def load_nondeterminism_allowlist(
+    pyproject: Optional[Path] = None,
+) -> tuple[str, ...]:
+    """``[tool.qlint] nondeterminism_allowed`` path prefixes.
+
+    Read from the repo's ``pyproject.toml`` (or an explicit path, for
+    tests).  Uses :mod:`tomllib` where available (3.11+) and a minimal
+    line parser on older interpreters — the repo supports 3.9 and must
+    not grow a toml dependency for one key.
+    """
+    path = pyproject
+    if path is None:
+        path = repro_root().parent.parent / "pyproject.toml"
+    if not path.exists():
+        return ()
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        return _parse_allowlist_fallback(text)
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError:
+        return ()
+    entries = (
+        data.get("tool", {}).get("qlint", {}).get("nondeterminism_allowed")
+    )
+    if not isinstance(entries, list):
+        return ()
+    return tuple(str(entry) for entry in entries)
+
+
+def _parse_allowlist_fallback(text: str) -> tuple[str, ...]:
+    """Extract the one array we need without a toml parser."""
+    in_section = False
+    fragments: list[str] = []
+    collecting = False
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line.startswith("["):
+            if collecting:
+                break
+            in_section = line == "[tool.qlint]"
+            continue
+        if not in_section:
+            continue
+        if collecting:
+            fragments.append(line)
+            if "]" in line:
+                break
+            continue
+        if line.startswith("nondeterminism_allowed"):
+            _key, _eq, rest = line.partition("=")
+            fragments.append(rest.strip())
+            if "]" in rest:
+                break
+            collecting = True
+    joined = " ".join(fragments)
+    if "[" not in joined or "]" not in joined:
+        return ()
+    inner = joined[joined.index("[") + 1: joined.index("]")]
+    return tuple(
+        part.strip().strip("'\"")
+        for part in inner.split(",")
+        if part.strip().strip("'\"")
+    )
 
 
 def _parse(
@@ -66,12 +139,17 @@ def _parse(
 def run_suite(
     paths: Optional[Sequence[Path]] = None,
     select: Optional[Sequence[str]] = None,
+    nondeterminism_allowed: Optional[Sequence[str]] = None,
 ) -> list[Finding]:
     """Run every analyzer; return the combined, filtered finding list.
 
     ``paths=None`` selects the default scope described in the module
     docstring.  ``select`` restricts output to the given rule ids.
+    ``nondeterminism_allowed`` overrides the pyproject allowlist (pass
+    ``()`` to disable it).
     """
+    if nondeterminism_allowed is None:
+        nondeterminism_allowed = load_nondeterminism_allowlist()
     if paths is None:
         root = repro_root()
         determinism_paths = [
@@ -89,7 +167,9 @@ def run_suite(
 
     findings: list[Finding] = list(determinism_errors) + list(quorum_errors)
 
-    determinism_linter = DeterminismLinter()
+    determinism_linter = DeterminismLinter(
+        nondeterminism_allowed=nondeterminism_allowed
+    )
     for source in determinism_sources:
         findings.extend(determinism_linter.run(source))
 

@@ -55,9 +55,10 @@ from repro.sds.messages import (
     NewQuorum,
 )
 from repro.sds.quorum import QuorumPlan
-from repro.sim.failure import FailureDetector
+from repro.net.transport import Transport
+from repro.sim.failure import SuspicionSource
 from repro.sim.kernel import Future, Process, Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.network import Envelope
 from repro.sim.node import Node
 from repro.sim.primitives import Mutex, any_of
 
@@ -78,10 +79,10 @@ class ReconfigurationManager(Node):
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         proxies: list[NodeId],
         storage_nodes: list[NodeId],
-        detector: FailureDetector,
+        detector: SuspicionSource,
         initial_plan: QuorumPlan,
         replication_degree: int,
         suspect_poll_interval: float = 0.05,

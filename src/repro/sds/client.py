@@ -39,8 +39,9 @@ from repro.sds.messages import (
     ClientWrite,
     ClientWriteReply,
 )
+from repro.net.transport import Transport
 from repro.sim.kernel import Future, Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.network import Envelope
 from repro.sim.node import Node
 from repro.sim.primitives import any_of
 
@@ -90,7 +91,7 @@ class ClientNode(Node):
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         node_id: NodeId,
         proxy_id: NodeId,
         workload: OperationSource,

@@ -61,11 +61,12 @@ from repro.sds.messages import (
     ResumeProxy,
     RoundStats,
 )
+from repro.net.transport import Transport
 from repro.sds.quorum import ConfigurationHistory, QuorumPlan
 from repro.sds.ring import PlacementRing, _hash64
 from repro.sds.vector_clocks import TimestampVersioning
 from repro.sim.kernel import Future, Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.network import Envelope
 from repro.sim.node import Node
 from repro.sim.primitives import Gate, PendingCounter, Resource, any_of
 from repro.topk.stats import ProxyStatsRecorder
@@ -103,7 +104,7 @@ class ProxyNode(Node):
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         node_id: NodeId,
         ring: PlacementRing,
         config: ProxyConfig,

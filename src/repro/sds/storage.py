@@ -32,10 +32,11 @@ from repro.sds.messages import (
     ReplicaWrite,
     ReplicaWriteReply,
 )
+from repro.net.transport import Transport
 from repro.sds.quorum import QuorumPlan
 from repro.sds.ring import PlacementRing
 from repro.sim.kernel import Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.network import Envelope
 from repro.sim.node import Node
 from repro.sim.primitives import Resource
 
@@ -49,7 +50,7 @@ class StorageNode(Node):
     def __init__(
         self,
         sim: Simulator,
-        network: Network,
+        network: Transport,
         node_id: NodeId,
         config: StorageConfig,
         initial_plan: QuorumPlan,

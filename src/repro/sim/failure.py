@@ -12,12 +12,27 @@ false suspicions, which this module lets tests inject deliberately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol
 
 from repro.common.errors import SimulationError
 from repro.common.types import NodeId
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
+
+
+class SuspicionSource(Protocol):
+    """The one detector primitive the reconfiguration protocol consumes.
+
+    The RM only ever asks "do you suspect p_i right now?" — so any object
+    answering that is a valid detector: the simulated
+    :class:`FailureDetector` below, or the live runtime's trivially
+    optimistic detector (the protocol is indulgent, so a detector that
+    never suspects merely delays epoch changes, never breaks safety).
+    """
+
+    def suspect(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is currently suspected to have crashed."""
+        ...  # pragma: no cover - protocol definition
 
 
 @dataclass

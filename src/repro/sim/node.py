@@ -15,14 +15,21 @@ from typing import Any, Callable, Optional, Tuple
 
 from repro.common.errors import NodeCrashedError, SimulationError
 from repro.common.types import NodeId
+from repro.net.transport import Transport
 from repro.sim.kernel import Process, ProcessGen, Simulator
-from repro.sim.network import Envelope, Network
+from repro.sim.network import Envelope
 
 
 class Node:
-    """A simulated process with a mailbox and typed message handlers."""
+    """A protocol process with a mailbox and typed message handlers.
 
-    def __init__(self, sim: Simulator, network: Network, node_id: NodeId) -> None:
+    ``network`` is any :class:`~repro.net.transport.Transport` — the
+    simulated :class:`~repro.sim.network.Network` or the live
+    :class:`~repro.net.tcp.TcpTransport`; nodes never look past the
+    ``register``/``send`` seam.
+    """
+
+    def __init__(self, sim: Simulator, network: Transport, node_id: NodeId) -> None:
         self.sim = sim
         self.network = network
         self.node_id = node_id

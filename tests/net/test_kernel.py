@@ -1,0 +1,108 @@
+"""RealtimeKernel: the sim's process model on an asyncio event loop."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.net.kernel import RealtimeKernel
+
+
+def test_sim_only_entry_points_are_blocked() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        with pytest.raises(SimulationError):
+            kernel.step()
+        with pytest.raises(SimulationError):
+            kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.run_process(iter(()))
+
+    asyncio.run(scenario())
+
+
+def test_generator_process_runs_on_wall_clock() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        trail = []
+
+        def worker():
+            trail.append("start")
+            yield kernel.sleep(0.01)
+            trail.append("slept")
+            value = yield kernel.timeout(0.01, "token")
+            trail.append(value)
+            return 42
+
+        result = await asyncio.wait_for(
+            kernel.run_process_async(worker(), name="worker"), 5.0
+        )
+        assert result == 42
+        assert trail == ["start", "slept", "token"]
+        assert kernel.events_processed > 0
+
+    asyncio.run(scenario())
+
+
+def test_now_is_monotonic_across_ticks() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        first = kernel.tick()
+        await asyncio.sleep(0.01)
+        second = kernel.tick()
+        assert second >= first
+
+    asyncio.run(scenario())
+
+
+def test_wrap_future_resolution_and_failure() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        ok = kernel.future("ok")
+        wrapped = kernel.wrap_future(ok)
+        kernel.post(ok.resolve, "payload")
+        assert await asyncio.wait_for(wrapped, 5.0) == "payload"
+
+        bad = kernel.future("bad")
+        wrapped_bad = kernel.wrap_future(bad)
+        kernel.post(bad.fail, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            await asyncio.wait_for(wrapped_bad, 5.0)
+
+    asyncio.run(scenario())
+
+
+def test_process_crash_is_recorded_not_raised() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+
+        def doomed():
+            yield kernel.sleep(0.0)
+            raise ValueError("expected failure")
+
+        kernel.spawn(doomed(), name="doomed")
+        await asyncio.sleep(0.05)
+        assert len(kernel.crashes) == 1
+        name, exc = kernel.crashes[0]
+        assert name == "doomed"
+        assert isinstance(exc, ValueError)
+
+    asyncio.run(scenario())
+
+
+def test_crash_list_is_bounded() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+
+        def doomed():
+            yield kernel.sleep(0.0)
+            raise ValueError("expected failure")
+
+        for index in range(80):
+            kernel.spawn(doomed(), name=f"doomed-{index}")
+        await asyncio.sleep(0.2)
+        assert len(kernel.crashes) <= 64
+
+    asyncio.run(scenario())

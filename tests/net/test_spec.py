@@ -1,0 +1,91 @@
+"""ClusterSpec: topology derivation, JSON round-trip, port allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import NodeId, QuorumConfig
+from repro.net.cluster import allocate_ports
+from repro.net.spec import (
+    ClusterSpec,
+    build_spec,
+    parse_node_name,
+)
+
+
+def test_parse_node_name_round_trips() -> None:
+    for node_id in (
+        NodeId.storage(0),
+        NodeId.proxy(12),
+        parse_node_name("reconfig-manager-0"),
+    ):
+        assert parse_node_name(str(node_id)) == node_id
+
+
+def test_parse_node_name_rejects_garbage() -> None:
+    for bad in ("storage", "storage-", "-3", "storage-x", ""):
+        with pytest.raises(ConfigurationError):
+            parse_node_name(bad)
+
+
+def test_build_spec_topology() -> None:
+    spec = build_spec(replicas=5, proxies=2, write_quorum=4, seed=7)
+    assert [a.name for a in spec.replicas] == [
+        f"storage-{i}" for i in range(5)
+    ]
+    assert [a.name for a in spec.proxies] == ["proxy-0", "proxy-1"]
+    assert spec.initial_quorum() == QuorumConfig(read=2, write=4)
+    assert spec.initial_plan().default == spec.initial_quorum()
+    assert len(spec.all_addresses()) == 8
+    assert len(spec.directory()) == 8
+
+
+def test_ring_is_identical_across_reconstructions() -> None:
+    """Every process derives placement from the spec; it must agree."""
+    spec = build_spec(replicas=5)
+    first = spec.ring()
+    second = ClusterSpec.from_json(
+        allocate_ports(spec).to_json()
+    ).ring()
+    for object_id in ("obj-1", "alpha", "Ω"):
+        assert first.replicas(object_id) == second.replicas(object_id)
+
+
+def test_json_round_trip_preserves_everything() -> None:
+    spec = allocate_ports(build_spec(replicas=5, proxies=2, seed=3))
+    clone = ClusterSpec.from_json(spec.to_json())
+    assert clone == spec
+
+
+def test_json_version_mismatch_rejected() -> None:
+    text = allocate_ports(build_spec()).to_json().replace(
+        '"version": 1', '"version": 999'
+    )
+    with pytest.raises(ConfigurationError):
+        ClusterSpec.from_json(text)
+
+
+def test_address_of_unknown_node() -> None:
+    with pytest.raises(ConfigurationError):
+        build_spec().address_of("storage-99")
+
+
+def test_invalid_write_quorum_rejected() -> None:
+    with pytest.raises(ConfigurationError):
+        build_spec(replicas=5, write_quorum=6)
+
+
+def test_allocate_ports_fills_every_zero_with_distinct_ports() -> None:
+    spec = allocate_ports(build_spec(replicas=5, proxies=2))
+    ports = []
+    for address in spec.all_addresses():
+        assert address.port > 0
+        assert address.http_port > 0
+        ports.extend([address.port, address.http_port])
+    assert len(ports) == len(set(ports))
+
+
+def test_allocate_ports_respects_fixed_ports() -> None:
+    spec = build_spec(base_port=42000)
+    assert allocate_ports(spec) == spec

@@ -58,4 +58,12 @@ def test_multi_tenant(capsys):
 def test_fault_tolerant_control_plane(capsys):
     out = run_example("fault_tolerant_control_plane.py", capsys)
     assert "new primary" in out
+
+
+def test_live_cluster(capsys):
+    out = run_example("live_cluster.py", capsys)
+    assert "live reconfiguration to W=2" in out
+    assert "linearizable=True" in out
+    assert "0 violations" in out
+    assert "cluster shut down cleanly: True" in out
     assert "tuning continued" in out
