@@ -175,9 +175,14 @@ class Version:
         return self.stamp > other.stamp
 
 
-#: Placeholder version returned by replicas that never saw the object.
+#: Shared placeholder for never-written objects.  ``Version`` is frozen,
+#: so one instance can be handed to every caller.
+_MISSING_VERSION = Version(value=None, stamp=ZERO_STAMP, cfg_no=0, size=0)
+
+
 def missing_version() -> Version:
-    return Version(value=None, stamp=ZERO_STAMP, cfg_no=0, size=0)
+    """Placeholder version returned by replicas that never saw the object."""
+    return _MISSING_VERSION
 
 
 class OpType(enum.Enum):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 from repro.common.errors import ExperimentError
 
@@ -54,7 +54,7 @@ class ReplicatedChoice:
     answers: tuple
 
     @property
-    def mode(self):
+    def mode(self) -> Any:
         counts: dict = {}
         for answer in self.answers:
             counts[answer] = counts.get(answer, 0) + 1

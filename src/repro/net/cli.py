@@ -38,6 +38,17 @@ def _load_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--object-size", type=int, default=4096)
     parser.add_argument("--objects", type=int, default=64)
     parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument(
+        "--depth", type=int, default=4,
+        help="pipelined in-flight operations per client (default 4)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=0.0,
+        help=(
+            "open-loop injection rate per client, ops/sec "
+            "(0 = closed loop, the default)"
+        ),
+    )
 
 
 def cmd_serve(argv: Sequence[str]) -> int:
@@ -138,11 +149,18 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
         "--output", default="BENCH_net.json",
         help="report path (default BENCH_net.json)",
     )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=(
+            "pinned BENCH_net baseline JSON; fail if any phase drops "
+            "below 70%% of its baseline ops/sec"
+        ),
+    )
     args = parser.parse_args(list(argv))
     spec = ClusterSpec.load(args.spec)
     phases: List[int] = args.phases or [4, 2]
 
-    from repro.net.loadgen import run_bench, write_report
+    from repro.net.loadgen import check_baseline, run_bench, write_report
 
     result = asyncio.run(
         run_bench(
@@ -154,6 +172,8 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
             object_size=args.object_size,
             objects=args.objects,
             seed=args.seed,
+            pipeline_depth=args.depth,
+            injection_rate=args.rate,
         )
     )
     write_report(
@@ -165,6 +185,8 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
             "object_size": args.object_size,
             "objects": args.objects,
             "seed": args.seed,
+            "pipeline_depth": args.depth,
+            "injection_rate": args.rate,
         },
     )
     for phase in result.phases:
@@ -181,7 +203,14 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
         f"linearizable={result.linearizable}"
     )
     print(f"report written to {args.output}")
-    if result.total_failed or result.consistency_violations:
+    failures: List[str] = []
+    if args.baseline:
+        failures = check_baseline(result, args.baseline)
+        for failure in failures:
+            print(f"BASELINE REGRESSION: {failure}")
+        if not failures:
+            print(f"baseline gate passed ({args.baseline})")
+    if result.total_failed or result.consistency_violations or failures:
         return 1
     return 0
 
@@ -201,6 +230,10 @@ def cmd_livesmoke(argv: Sequence[str]) -> int:
         "--phase", type=int, action="append", dest="phases",
         help="write quorum per phase (repeatable; default: 4 then 2)",
     )
+    parser.add_argument(
+        "--depth", type=int, default=4,
+        help="pipelined in-flight operations per client (default 4)",
+    )
     args = parser.parse_args(list(argv))
 
     from repro.net.smoke import run_smoke
@@ -214,6 +247,7 @@ def cmd_livesmoke(argv: Sequence[str]) -> int:
             clients=args.clients,
             workload=args.workload,
             seed=args.seed or 1,
+            pipeline_depth=args.depth,
         )
     )
     print(report.render())

@@ -19,13 +19,34 @@ Design goals, in order:
 Framing: a frame is a 4-byte big-endian length followed by the encoded
 envelope tuple ``(sender, recipient, size, sent_at, trace, payload)``.
 The length prefix covers everything after itself.
+
+Hot-path implementation notes (the bytes are pinned; only the code
+producing them changed):
+
+* **Precompiled codecs** — instead of walking an ``isinstance`` chain
+  per value and reflecting over dataclass fields per message, the
+  registry builds one encoder and one decoder closure per registered
+  class at import time (tag byte + class-code varint prebuilt, field
+  tuple captured).  Scalar encoders dispatch on ``type(value)`` through
+  a dict, decoders on the tag byte through a list.
+* **Zero-copy decode** — :func:`decode_frame_body` accepts any buffer
+  (``bytes``, ``bytearray`` or ``memoryview``) and parses it in place;
+  the transport hands it sub-``memoryview`` slices of its receive buffer,
+  so a TCP segment carrying many coalesced frames is decoded without
+  per-frame body copies.  Decoded leaves always *materialize* (``bytes``
+  values are copied out), so no decoded message retains a view of the
+  receive buffer.
+* **Buffer pool** — :func:`encode_frame` reuses a small pool of
+  ``bytearray`` buffers and writes the length prefix into a reserved
+  slot, so steady-state encoding allocates only the final immutable
+  ``bytes``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import Any, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple, Union
 
 from repro.common.errors import SimulationError
 from repro.common.types import NodeId, QuorumConfig, Version, VersionStamp
@@ -38,6 +59,9 @@ from repro.sim.network import Envelope
 class CodecError(SimulationError):
     """Raised on malformed or truncated wire data."""
 
+
+#: Any read-only byte buffer the decoder accepts.
+Buffer = Union[bytes, bytearray, memoryview]
 
 # -- value tags --------------------------------------------------------------
 
@@ -109,26 +133,32 @@ _FIELDS_BY_TYPE = {
     cls: tuple(f.name for f in dataclasses.fields(cls)) for cls in WIRE_TYPES
 }
 
+_pack_double = struct.Struct(">d").pack
+_unpack_double_from = struct.Struct(">d").unpack_from
+
 
 # -- varints -----------------------------------------------------------------
 
 
 def _write_uvarint(out: bytearray, value: int) -> None:
-    while True:
-        byte = value & 0x7F
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
         value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return
+    out.append(value)
 
 
-def _read_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+def _uvarint_bytes(value: int) -> bytes:
+    out = bytearray()
+    _write_uvarint(out, value)
+    return bytes(out)
+
+
+def _read_uvarint(data: Buffer, offset: int) -> Tuple[int, int]:
     result = 0
     shift = 0
+    end = len(data)
     while True:
-        if offset >= len(data):
+        if offset >= end:
             raise CodecError("truncated varint")
         byte = data[offset]
         offset += 1
@@ -155,8 +185,136 @@ def _unzigzag(value: int) -> int:
 
 # -- encoding ----------------------------------------------------------------
 
+Encoder = Callable[[bytearray, Any], None]
 
-def _encode_value(out: bytearray, value: Any) -> None:
+#: Exact-type encoder dispatch, filled in below (scalars, containers and
+#: one precompiled closure per registered dataclass).
+_ENCODER_BY_TYPE: Dict[type, Encoder] = {}
+
+
+def _enc_none(out: bytearray, value: Any) -> None:
+    out.append(_T_NONE)
+
+
+def _enc_bool(out: bytearray, value: Any) -> None:
+    out.append(_T_TRUE if value else _T_FALSE)
+
+
+def _enc_int(out: bytearray, value: Any) -> None:
+    out.append(_T_INT)
+    value = (value << 1) if value >= 0 else ((-value << 1) - 1)
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _enc_float(out: bytearray, value: Any) -> None:
+    if value != value:  # NaN: breaks round-trip equality and ordering
+        raise CodecError("NaN is not encodable")
+    out.append(_T_FLOAT)
+    out += _pack_double(value)
+
+
+def _enc_str(out: bytearray, value: Any) -> None:
+    encoded = value.encode("utf-8")
+    out.append(_T_STR)
+    length = len(encoded)
+    while length > 0x7F:
+        out.append((length & 0x7F) | 0x80)
+        length >>= 7
+    out.append(length)
+    out += encoded
+
+
+def _enc_bytes(out: bytearray, value: Any) -> None:
+    out.append(_T_BYTES)
+    length = len(value)
+    while length > 0x7F:
+        out.append((length & 0x7F) | 0x80)
+        length >>= 7
+    out.append(length)
+    out += value
+
+
+def _enc_tuple(out: bytearray, value: Any) -> None:
+    out.append(_T_TUPLE)
+    _write_uvarint(out, len(value))
+    dispatch = _ENCODER_BY_TYPE
+    for item in value:
+        encoder = dispatch.get(item.__class__)
+        if encoder is None:
+            _encode_fallback(out, item)
+        else:
+            encoder(out, item)
+
+
+def _enc_frozenset(out: bytearray, value: Any) -> None:
+    out.append(_T_FROZENSET)
+    _write_uvarint(out, len(value))
+    for encoded_item in sorted(encode_value(item) for item in value):
+        out += encoded_item
+
+
+def _enc_map(out: bytearray, value: Any) -> None:
+    out.append(_T_MAP)
+    _write_uvarint(out, len(value))
+    pairs = sorted(
+        (encode_value(key), encode_value(item)) for key, item in value.items()
+    )
+    for encoded_key, encoded_item in pairs:
+        out += encoded_key
+        out += encoded_item
+
+
+def _make_dataclass_encoder(code: int, fields: Tuple[str, ...]) -> Encoder:
+    """One closure per registered class: prebuilt header, fixed fields."""
+    header = bytes([_T_DATACLASS]) + _uvarint_bytes(code)
+
+    def encode_dataclass(out: bytearray, value: Any) -> None:
+        out += header
+        dispatch = _ENCODER_BY_TYPE
+        for name in fields:
+            item = getattr(value, name)
+            encoder = dispatch.get(item.__class__)
+            if encoder is None:
+                _encode_fallback(out, item)
+            else:
+                encoder(out, item)
+
+    return encode_dataclass
+
+
+_ENCODER_BY_TYPE.update(
+    {
+        type(None): _enc_none,
+        bool: _enc_bool,
+        int: _enc_int,
+        float: _enc_float,
+        str: _enc_str,
+        bytes: _enc_bytes,
+        bytearray: _enc_bytes,
+        tuple: _enc_tuple,
+        list: _enc_tuple,
+        frozenset: _enc_frozenset,
+        set: _enc_frozenset,
+        dict: _enc_map,
+    }
+)
+for _code, _cls in enumerate(WIRE_TYPES):
+    _ENCODER_BY_TYPE[_cls] = _make_dataclass_encoder(
+        _code, _FIELDS_BY_TYPE[_cls]
+    )
+
+
+def _encode_fallback(out: bytearray, value: Any) -> None:
+    """Subclass-tolerant slow path (the pre-compilation semantics).
+
+    The dispatch table is keyed by *exact* type; values of subclasses
+    (an ``OrderedDict``, an ``enum.IntEnum``, a ``Mapping`` view copied
+    into a dict subclass) land here and are encoded by the same
+    ``isinstance`` ladder the codec always had, preserving behaviour.
+    """
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -164,52 +322,38 @@ def _encode_value(out: bytearray, value: Any) -> None:
     elif value is False:
         out.append(_T_FALSE)
     elif isinstance(value, int):
-        out.append(_T_INT)
-        _write_uvarint(out, _zigzag(value))
+        _enc_int(out, value)
     elif isinstance(value, float):
-        if value != value:  # NaN: breaks round-trip equality and ordering
-            raise CodecError("NaN is not encodable")
-        out.append(_T_FLOAT)
-        out.extend(struct.pack(">d", value))
+        _enc_float(out, value)
     elif isinstance(value, str):
-        encoded = value.encode("utf-8")
-        out.append(_T_STR)
-        _write_uvarint(out, len(encoded))
-        out.extend(encoded)
+        _enc_str(out, value)
     elif isinstance(value, (bytes, bytearray)):
-        out.append(_T_BYTES)
-        _write_uvarint(out, len(value))
-        out.extend(value)
+        _enc_bytes(out, value)
     elif isinstance(value, (tuple, list)):
-        out.append(_T_TUPLE)
-        _write_uvarint(out, len(value))
-        for item in value:
-            _encode_value(out, item)
+        _enc_tuple(out, value)
     elif isinstance(value, (frozenset, set)):
-        out.append(_T_FROZENSET)
-        _write_uvarint(out, len(value))
-        for encoded_item in sorted(encode_value(item) for item in value):
-            out.extend(encoded_item)
+        _enc_frozenset(out, value)
     elif isinstance(value, dict):
-        out.append(_T_MAP)
-        _write_uvarint(out, len(value))
-        pairs = sorted(
-            (encode_value(key), encode_value(item))
-            for key, item in value.items()
-        )
-        for encoded_key, encoded_item in pairs:
-            out.extend(encoded_key)
-            out.extend(encoded_item)
+        _enc_map(out, value)
     else:
-        code = _CODE_BY_TYPE.get(type(value))
-        if code is None:
+        encoder = None
+        for cls in type(value).__mro__:
+            encoder = _ENCODER_BY_TYPE.get(cls)
+            if encoder is not None:
+                break
+        if encoder is None:
             raise CodecError(
                 f"type {type(value).__name__} is not a registered wire type"
             )
-        out.append(_T_DATACLASS)
-        _write_uvarint(out, code)
-        for name in _FIELDS_BY_TYPE[type(value)]:
-            _encode_value(out, getattr(value, name))
+        encoder(out, value)
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    encoder = _ENCODER_BY_TYPE.get(value.__class__)
+    if encoder is None:
+        _encode_fallback(out, value)
+    else:
+        encoder(out, value)
 
 
 def encode_value(value: Any) -> bytes:
@@ -219,41 +363,107 @@ def encode_value(value: Any) -> bytes:
     return bytes(out)
 
 
-def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
-    if offset >= len(data):
-        raise CodecError("truncated value")
-    tag = data[offset]
+# -- decoding ----------------------------------------------------------------
+
+#: (class, field count) per wire code; arity captured once so decoding a
+#: message does no field reflection and no per-message dict lookups.
+_DATACLASS_SPECS: Tuple[Tuple[type, int], ...] = tuple(
+    (cls, len(_FIELDS_BY_TYPE[cls])) for cls in WIRE_TYPES
+)
+
+
+def _decode_value(data: Buffer, offset: int) -> Tuple[Any, int]:
+    """One monolithic decoder, branches ordered by tag frequency.
+
+    CPython function-call overhead dominates a per-tag dispatch table at
+    this grain, so the hot tags are decoded inline (including their
+    varints); only the recursion into container/dataclass elements calls
+    back into this function.
+    """
+    try:
+        tag = data[offset]
+    except IndexError:
+        raise CodecError("truncated value") from None
     offset += 1
+    if tag == _T_INT:
+        result = 0
+        shift = 0
+        while True:
+            try:
+                byte = data[offset]
+            except IndexError:
+                raise CodecError("truncated varint") from None
+            offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+        return (
+            (result >> 1) if not result & 1 else -((result + 1) >> 1)
+        ), offset
+    if tag == _T_STR:
+        length = 0
+        shift = 0
+        while True:
+            try:
+                byte = data[offset]
+            except IndexError:
+                raise CodecError("truncated varint") from None
+            offset += 1
+            length |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+        end = offset + length
+        chunk = data[offset:end]
+        if len(chunk) != length:
+            raise CodecError("truncated string")
+        return str(chunk, "utf-8"), end
+    if tag == _T_DATACLASS:
+        code, offset = _read_uvarint(data, offset)
+        try:
+            cls, arity = _DATACLASS_SPECS[code]
+        except IndexError:
+            raise CodecError(f"unknown wire-type code {code}") from None
+        values = []
+        append = values.append
+        for _ in range(arity):
+            item, offset = _decode_value(data, offset)
+            append(item)
+        return cls(*values), offset
+    if tag == _T_FLOAT:
+        try:
+            value = _unpack_double_from(data, offset)[0]
+        except struct.error:
+            raise CodecError("truncated float") from None
+        return value, offset + 8
+    if tag == _T_BYTES:
+        length, offset = _read_uvarint(data, offset)
+        end = offset + length
+        # Always materialize: decoded values must never retain a view of
+        # a transport receive buffer (which is mutated after the parse).
+        chunk = bytes(data[offset:end])
+        if len(chunk) != length:
+            raise CodecError("truncated bytes")
+        return chunk, end
+    if tag == _T_TUPLE:
+        count, offset = _read_uvarint(data, offset)
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            append(item)
+        return tuple(items), offset
     if tag == _T_NONE:
         return None, offset
     if tag == _T_TRUE:
         return True, offset
     if tag == _T_FALSE:
         return False, offset
-    if tag == _T_INT:
-        raw, offset = _read_uvarint(data, offset)
-        return _unzigzag(raw), offset
-    if tag == _T_FLOAT:
-        if offset + 8 > len(data):
-            raise CodecError("truncated float")
-        return struct.unpack_from(">d", data, offset)[0], offset + 8
-    if tag == _T_STR:
-        length, offset = _read_uvarint(data, offset)
-        if offset + length > len(data):
-            raise CodecError("truncated string")
-        return data[offset : offset + length].decode("utf-8"), offset + length
-    if tag == _T_BYTES:
-        length, offset = _read_uvarint(data, offset)
-        if offset + length > len(data):
-            raise CodecError("truncated bytes")
-        return bytes(data[offset : offset + length]), offset + length
-    if tag == _T_TUPLE:
-        count, offset = _read_uvarint(data, offset)
-        items = []
-        for _ in range(count):
-            item, offset = _decode_value(data, offset)
-            items.append(item)
-        return tuple(items), offset
     if tag == _T_FROZENSET:
         count, offset = _read_uvarint(data, offset)
         elements = []
@@ -269,20 +479,10 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
             item, offset = _decode_value(data, offset)
             mapping[key] = item
         return mapping, offset
-    if tag == _T_DATACLASS:
-        code, offset = _read_uvarint(data, offset)
-        if code >= len(WIRE_TYPES):
-            raise CodecError(f"unknown wire-type code {code}")
-        cls = WIRE_TYPES[code]
-        values = []
-        for _ in _FIELDS_BY_TYPE[cls]:
-            item, offset = _decode_value(data, offset)
-            values.append(item)
-        return cls(*values), offset
     raise CodecError(f"unknown value tag {tag:#04x}")
 
 
-def decode_value(data: bytes) -> Any:
+def decode_value(data: Buffer) -> Any:
     """Decode one value; the entire buffer must be consumed."""
     value, offset = _decode_value(data, 0)
     if offset != len(data):
@@ -302,9 +502,44 @@ LENGTH_PREFIX = 4
 MAX_FRAME = 64 * 1024 * 1024
 
 
+class _BufferPool:
+    """A small free list of encode buffers (no locking: asyncio is
+    single-threaded, and the worst case of a race is a missed reuse)."""
+
+    __slots__ = ("_buffers", "_capacity", "_max_bytes")
+
+    def __init__(self, capacity: int = 8, max_bytes: int = 1 << 20) -> None:
+        self._buffers: List[bytearray] = []
+        self._capacity = capacity
+        #: Buffers that ballooned (one huge frame) are dropped instead of
+        #: pinning their memory in the pool forever.
+        self._max_bytes = max_bytes
+
+    def acquire(self) -> bytearray:
+        if self._buffers:
+            return self._buffers.pop()
+        return bytearray()
+
+    def release(self, buffer: bytearray) -> None:
+        if len(self._buffers) >= self._capacity:
+            return
+        if len(buffer) > self._max_bytes:
+            return
+        del buffer[:]
+        self._buffers.append(buffer)
+
+
+_ENCODE_POOL = _BufferPool()
+
+_PREFIX_PLACEHOLDER = b"\x00" * LENGTH_PREFIX
+
+
 def encode_frame(envelope: Envelope) -> bytes:
     """Serialize an envelope as a length-prefixed frame."""
-    body = encode_value(
+    out = _ENCODE_POOL.acquire()
+    out += _PREFIX_PLACEHOLDER
+    _encode_value(
+        out,
         (
             envelope.sender,
             envelope.recipient,
@@ -312,15 +547,25 @@ def encode_frame(envelope: Envelope) -> bytes:
             envelope.sent_at,
             envelope.trace,
             envelope.payload,
-        )
+        ),
     )
-    if len(body) > MAX_FRAME:
-        raise CodecError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
-    return len(body).to_bytes(LENGTH_PREFIX, "big") + body
+    body_length = len(out) - LENGTH_PREFIX
+    if body_length > MAX_FRAME:
+        _ENCODE_POOL.release(out)
+        raise CodecError(f"frame of {body_length} bytes exceeds MAX_FRAME")
+    out[:LENGTH_PREFIX] = body_length.to_bytes(LENGTH_PREFIX, "big")
+    frame = bytes(out)
+    _ENCODE_POOL.release(out)
+    return frame
 
 
-def decode_frame_body(body: bytes) -> Envelope:
-    """Deserialize a frame body (the bytes after the length prefix)."""
+def decode_frame_body(body: Buffer) -> Envelope:
+    """Deserialize a frame body (the bytes after the length prefix).
+
+    ``body`` may be any buffer — in particular a ``memoryview`` into a
+    transport receive buffer; every decoded leaf is materialized, so the
+    returned envelope never aliases the caller's buffer.
+    """
     decoded = decode_value(body)
     if not isinstance(decoded, tuple) or len(decoded) != 6:
         raise CodecError("malformed envelope frame")

@@ -1,0 +1,152 @@
+"""Codec microbenchmark: encode/decode ns/op per wire message type.
+
+``python -m repro bench --codec`` times :func:`~repro.net.codec.encode_frame`
+and :func:`~repro.net.codec.decode_frame_body` over a fixed set of
+representative envelopes — the message types that dominate live traffic
+(client requests inbound to a proxy, replica round-trips behind it), each
+carrying the load generator's default-sized payload where the real
+message would.  Numbers are wall-clock ns per call, best-of-``rounds``
+so scheduler noise biases high rounds, not the reported figure.
+
+The samples are fixed so before/after comparisons (EXPERIMENTS.md) are
+apples to apples; every sample is round-tripped once before timing to
+guarantee the bench never reports a speed for frames that don't decode.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.types import NodeId, Version, VersionStamp
+from repro.net.codec import LENGTH_PREFIX, decode_frame_body, encode_frame
+from repro.sds.messages import (
+    ClientRead,
+    ClientWrite,
+    ReplicaReadReply,
+    ReplicaWrite,
+)
+from repro.sim.network import Envelope
+
+#: Schema tag written into every BENCH_codec.json.
+SCHEMA = "qopt-codec-bench/1"
+
+#: Payload size of the sample writes (the loadgen default object size
+#: is 4096; 2048 keeps one timing round comfortably under a second).
+PAYLOAD_BYTES = 2048
+
+
+def sample_envelopes() -> List[Tuple[str, Envelope]]:
+    """The pinned envelope-per-message-type sample set."""
+    value = bytes(range(256)) * (PAYLOAD_BYTES // 256)
+    stamp = VersionStamp(timestamp=123.456789, proxy="proxy-0")
+    version = Version(value=value, stamp=stamp, cfg_no=3, size=len(value))
+    client, proxy, storage = (
+        NodeId.client(1),
+        NodeId.proxy(0),
+        NodeId.storage(2),
+    )
+    return [
+        (
+            "ClientRead",
+            Envelope(
+                sender=client,
+                recipient=proxy,
+                payload=ClientRead(object_id="obj-17", request_id=42),
+                size=256,
+            ),
+        ),
+        (
+            "ClientWrite",
+            Envelope(
+                sender=client,
+                recipient=proxy,
+                payload=ClientWrite(
+                    object_id="obj-17",
+                    value=value,
+                    size=len(value),
+                    request_id=43,
+                ),
+                size=256 + len(value),
+            ),
+        ),
+        (
+            "ReplicaWrite",
+            Envelope(
+                sender=proxy,
+                recipient=storage,
+                payload=ReplicaWrite(
+                    object_id="obj-17",
+                    value=value,
+                    size=len(value),
+                    stamp=stamp,
+                    epoch_no=2,
+                    cfg_no=3,
+                    op_id=7,
+                ),
+                size=256 + len(value),
+            ),
+        ),
+        (
+            "ReplicaReadReply",
+            Envelope(
+                sender=storage,
+                recipient=proxy,
+                payload=ReplicaReadReply(
+                    object_id="obj-17",
+                    version=version,
+                    op_id=7,
+                    replica=storage,
+                ),
+                size=256 + len(value),
+            ),
+        ),
+    ]
+
+
+def _time_ns(func: Any, arg: Any, repeats: int, rounds: int) -> float:
+    """Best-of-``rounds`` mean ns per ``func(arg)`` call."""
+    timer = time.perf_counter_ns
+    best = float("inf")
+    for _ in range(rounds):
+        begin = timer()
+        for _ in range(repeats):
+            func(arg)
+        elapsed = (timer() - begin) / repeats
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_codec_bench(repeats: int = 2000, rounds: int = 5) -> Dict[str, Any]:
+    """Time the codec over the sample set; returns the report dict."""
+    messages: Dict[str, Dict[str, Any]] = {}
+    for name, envelope in sample_envelopes():
+        frame = encode_frame(envelope)
+        body = frame[LENGTH_PREFIX:]
+        decoded = decode_frame_body(body)
+        if decoded != envelope:
+            raise ReproError(
+                f"codec bench round-trip mismatch for {name}: "
+                f"{decoded!r} != {envelope!r}"
+            )
+        messages[name] = {
+            "frame_bytes": len(frame),
+            "encode_ns": round(
+                _time_ns(encode_frame, envelope, repeats, rounds), 1
+            ),
+            "decode_ns": round(
+                _time_ns(decode_frame_body, body, repeats, rounds), 1
+            ),
+        }
+    return {
+        "schema": SCHEMA,
+        "repeats": repeats,
+        "rounds": rounds,
+        "payload_bytes": PAYLOAD_BYTES,
+        "messages": messages,
+    }
+
+
+__all__ = ["PAYLOAD_BYTES", "SCHEMA", "run_codec_bench", "sample_envelopes"]

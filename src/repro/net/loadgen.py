@@ -146,12 +146,18 @@ class LoadGenerator:
         object_size: int = 4096,
         objects: int = 64,
         seed: int = 1,
+        pipeline_depth: int = 1,
+        injection_rate: float = 0.0,
     ) -> None:
         self.spec = spec
         self.clients = clients
         self.workload_name = workload
         self._workload = _build_workload(workload, object_size, objects)
         self.seed = seed
+        #: In-flight logical operations per client (pipelined slots).
+        self.pipeline_depth = pipeline_depth
+        #: Per-client open-loop injection rate, ops/sec (0 = closed loop).
+        self.injection_rate = injection_rate
         self.kernel: Optional[RealtimeKernel] = None
         self.transport: Optional[TcpTransport] = None
         self.records: List[OperationRecord] = []
@@ -217,6 +223,8 @@ class LoadGenerator:
                 log=log,
                 recorder=record,
                 policy=self.spec.client,
+                pipeline_depth=self.pipeline_depth,
+                injection_rate=self.injection_rate,
             )
             fleet.append(client)
 
@@ -224,9 +232,21 @@ class LoadGenerator:
         for client in fleet:
             client.start()
         await asyncio.sleep(duration)
-        # Fail-stop the fleet: in-flight operations keep their
-        # forever-concurrent (inf-completion) write records, exactly like
-        # a client crash in the simulator.
+        # Graceful drain: stop issuing and let in-flight operations
+        # finish.  A fail-stop here would leave up to depth x clients
+        # forever-concurrent (inf-completion) write records per phase,
+        # which blows up the linearizability search on pipelined runs.
+        for client in fleet:
+            client.stop_issuing()
+        drain_deadline = kernel.tick() + 3.0
+        while (
+            any(client.inflight_operations for client in fleet)
+            and kernel.tick() < drain_deadline
+        ):
+            await asyncio.sleep(0.02)
+        # Fail-stop stragglers (ops still retrying at the deadline keep
+        # their inf-completion records, exactly like a client crash in
+        # the simulator).
         for client in fleet:
             client.crash()
         elapsed = kernel.tick() - start
@@ -285,14 +305,17 @@ class LoadGenerator:
     # -- reporting -----------------------------------------------------------
 
     def check_history(
-        self, max_states: int = 200_000
+        self, max_states: int = 2_000_000
     ) -> tuple[int, Optional[bool]]:
         """Run the consistency + linearizability checkers on the history.
 
         Reads that completed without observing any write decode against
         the register's initial value; the checker handles that natively.
         Returns ``(violations, linearizable)`` where ``linearizable`` is
-        ``None`` when the search budget was exceeded.
+        ``None`` when the search budget was exceeded.  The budget is
+        sized for pipelined fleets: depth ``d`` clients keep ``d``
+        operations per client concurrent, which widens every Wing-Gong
+        chunk the search must clear.
         """
         checker = HistoryChecker()
         for op_record in self.records:
@@ -332,6 +355,8 @@ async def run_bench(
     object_size: int = 4096,
     objects: int = 64,
     seed: int = 1,
+    pipeline_depth: int = 1,
+    injection_rate: float = 0.0,
 ) -> LoadgenResult:
     """The live benchmark: one timed phase per write-quorum in ``phases``,
     with a live reconfiguration before each phase after the first."""
@@ -342,6 +367,8 @@ async def run_bench(
         object_size=object_size,
         objects=objects,
         seed=seed,
+        pipeline_depth=pipeline_depth,
+        injection_rate=injection_rate,
     )
     await generator.start()
     try:
@@ -372,10 +399,46 @@ def write_report(result: LoadgenResult, path: str, extra: dict) -> None:
         handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+#: A run must reach this fraction of the baseline's ops/sec per phase
+#: (mirrors the BENCH_obs perf-smoke gate: generous enough for noisy CI
+#: machines, tight enough to catch a real hot-path regression).
+BASELINE_FLOOR = 0.7
+
+
+def check_baseline(
+    result: LoadgenResult, baseline_path: str, floor: float = BASELINE_FLOOR
+) -> List[str]:
+    """Compare per-phase ops/sec against a pinned baseline report.
+
+    Returns human-readable failure strings (empty = gate passed).
+    Phases are matched by name; a phase missing from the baseline is
+    skipped, so adding phases does not require regenerating it.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    pinned = {
+        phase["name"]: float(phase["ops_per_sec"])
+        for phase in baseline.get("phases", [])
+    }
+    failures: List[str] = []
+    for phase in result.phases:
+        target = pinned.get(phase.name)
+        if target is None or target <= 0:
+            continue
+        if phase.ops_per_sec < floor * target:
+            failures.append(
+                f"phase {phase.name}: {phase.ops_per_sec:.1f} ops/s is below "
+                f"{floor:.0%} of baseline {target:.1f} ops/s"
+            )
+    return failures
+
+
 __all__ = [
+    "BASELINE_FLOOR",
     "LoadGenerator",
     "LoadgenResult",
     "PhaseResult",
+    "check_baseline",
     "run_bench",
     "write_report",
 ]

@@ -3,7 +3,7 @@
 ``python -m repro livesmoke`` is what the CI ``live-smoke`` job runs:
 
 1. boot an N-replica localhost cluster (real subprocesses, real TCP);
-2. drive a short closed-loop load burst at the initial write quorum;
+2. drive a short pipelined load burst at the initial write quorum;
 3. force one live global reconfiguration and keep loading;
 4. scrape every node's Prometheus endpoint;
 5. shut the cluster down gracefully.
@@ -89,6 +89,7 @@ async def run_smoke(
     clients: int = 4,
     workload: str = "a",
     seed: int = 1,
+    pipeline_depth: int = 4,
 ) -> SmokeReport:
     """Run the full smoke sequence; never leaves processes behind."""
     from repro.net.spec import build_spec
@@ -111,6 +112,7 @@ async def run_smoke(
             workload=workload,
             objects=32,
             seed=seed,
+            pipeline_depth=pipeline_depth,
         )
         await generator.start()
         try:

@@ -18,6 +18,22 @@ replica's duplicated reply twice could declare a quorum that does not
 exist — whereas loss is exactly what the protocol's deadline/retry
 machinery (client attempts, proxy gather rotations, RM retransmissions)
 is built to absorb.
+
+Hot-path notes (see ``docs/PERFORMANCE.md``):
+
+* **Write coalescing** — all frames queued to the same peer while the
+  pump was busy (typically: everything produced within one event-loop
+  tick) are joined into a single ``write()`` + ``drain()``, bounded by
+  ``flush_bytes`` per batch so one huge burst cannot monopolise the
+  loop or the join buffer.  ``drain()`` after every batch is the write
+  backpressure: a slow peer suspends the pump, frames accumulate in the
+  bounded deque (shed-oldest), memory stays flat.
+* **At-most-once is unchanged** — a batch popped from the queue when the
+  connection breaks is lost *as a unit*; nothing is ever re-queued.
+* **Bulk reads** — the inbound side reads large chunks and parses every
+  complete frame in the accumulated buffer per wakeup, handing the codec
+  zero-copy ``memoryview`` bodies instead of one ``readexactly`` pair
+  per frame.
 """
 
 from __future__ import annotations
@@ -26,7 +42,7 @@ import asyncio
 import logging
 import random
 from collections import deque
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.types import NodeId
@@ -44,6 +60,40 @@ logger = logging.getLogger(__name__)
 
 #: (host, port) address of a remote process.
 Address = Tuple[str, int]
+
+
+async def _pump_frames(
+    transport: "TcpTransport",
+    frames: "deque[bytes]",
+    wakeup: asyncio.Event,
+    writer: asyncio.StreamWriter,
+    closed: "Callable[[], bool]",
+) -> None:
+    """Coalescing write pump shared by peer links and learned routes.
+
+    Pops every queued frame up to ``flush_bytes`` per batch, writes the
+    batch as one buffer, then awaits ``drain()`` (the backpressure
+    point).  Connection errors propagate to the caller; frames already
+    popped are lost — at-most-once, see the module docstring.
+    """
+    bound = transport.flush_bytes
+    while not closed():
+        if not frames:
+            wakeup.clear()
+            if frames:
+                continue
+            await wakeup.wait()
+            continue
+        batch = []
+        size = 0
+        while frames and size < bound:
+            frame = frames.popleft()
+            batch.append(frame)
+            size += len(frame)
+        writer.write(batch[0] if len(batch) == 1 else b"".join(batch))
+        transport.flushes += 1
+        transport.frames_flushed += len(batch)
+        await writer.drain()
 
 
 class _PeerLink:
@@ -118,17 +168,65 @@ class _PeerLink:
         return None
 
     async def _pump(self, writer: asyncio.StreamWriter) -> None:
-        while not self._closed:
-            while self._frames:
-                frame = self._frames.popleft()
-                writer.write(frame)
-                # If drain() raises, `frame` is lost (never re-queued):
-                # at-most-once per frame, see the module docstring.
-                await writer.drain()
-            self._wakeup.clear()
-            if self._frames:
-                continue
-            await self._wakeup.wait()
+        await _pump_frames(
+            self._transport,
+            self._frames,
+            self._wakeup,
+            writer,
+            lambda: self._closed,
+        )
+
+
+class _RouteBatcher:
+    """Coalesced, backpressured writes on one learned return route.
+
+    Learned routes have no reconnect machinery (the remote client owns
+    the connection); when the stream breaks, queued frames are dropped
+    and the route is forgotten.
+    """
+
+    def __init__(
+        self, transport: "TcpTransport", writer: asyncio.StreamWriter
+    ) -> None:
+        self._transport = transport
+        self.writer = writer
+        self._frames: deque[bytes] = deque()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        self._task = transport._kernel._loop.create_task(self._run())
+
+    def enqueue(self, frame: bytes) -> None:
+        if self._closed or self.writer.is_closing():
+            self._transport.messages_dropped += 1
+            return
+        if len(self._frames) >= self._transport.max_queued_frames:
+            self._frames.popleft()
+            self._transport.messages_dropped += 1
+        self._frames.append(frame)
+        self._wakeup.set()
+
+    def close(self) -> None:
+        self._closed = True
+        self._transport.messages_dropped += len(self._frames)
+        self._frames.clear()
+        self._task.cancel()
+
+    async def _run(self) -> None:
+        try:
+            await _pump_frames(
+                self._transport,
+                self._frames,
+                self._wakeup,
+                self.writer,
+                lambda: self._closed,
+            )
+        except (ConnectionError, OSError):
+            # Broken route: everything still queued (and the batch in
+            # flight) is lost; the client's retry machinery recovers.
+            self._transport.messages_dropped += len(self._frames)
+            self._frames.clear()
+        except asyncio.CancelledError:
+            pass
 
 
 class TcpTransport:
@@ -143,6 +241,8 @@ class TcpTransport:
         reconnect_base: float = 0.05,
         reconnect_cap: float = 2.0,
         max_queued_frames: int = 10_000,
+        flush_bytes: int = 256 * 1024,
+        read_chunk: int = 256 * 1024,
         rng: Optional[random.Random] = None,
     ) -> None:
         self._kernel = kernel
@@ -154,10 +254,15 @@ class TcpTransport:
         self.reconnect_base = reconnect_base
         self.reconnect_cap = reconnect_cap
         self.max_queued_frames = max_queued_frames
+        #: Upper bound on bytes joined into one coalesced ``write()``.
+        self.flush_bytes = flush_bytes
+        #: Bytes requested per inbound ``read()`` in the bulk parse loop.
+        self.read_chunk = read_chunk
         self._rng = rng if rng is not None else random.Random()
         self._mailboxes: Dict[NodeId, Mailbox] = {}
         self._peers: Dict[Address, _PeerLink] = {}
         self._routes: Dict[NodeId, asyncio.StreamWriter] = {}
+        self._route_batchers: Dict[asyncio.StreamWriter, _RouteBatcher] = {}
         self._inbound: set[asyncio.StreamWriter] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._started = False
@@ -170,6 +275,10 @@ class TcpTransport:
         self.bytes_sent = 0
         self.frames_received = 0
         self.decode_errors = 0
+        # Coalescing counters: frames_flushed / flushes is the mean
+        # batch size actually achieved on the wire.
+        self.flushes = 0
+        self.frames_flushed = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -204,6 +313,9 @@ class TcpTransport:
         self._peers.clear()
         # ``Server.close`` only stops *listening*; accepted connections
         # must be hung up explicitly or remote peers never notice.
+        for batcher in list(self._route_batchers.values()):
+            batcher.close()
+        self._route_batchers.clear()
         for writer in list(self._inbound):
             writer.close()
         self._inbound.clear()
@@ -259,7 +371,11 @@ class TcpTransport:
             return
         writer = self._routes.get(recipient)
         if writer is not None and not writer.is_closing():
-            writer.write(frame)
+            batcher = self._route_batchers.get(writer)
+            if batcher is None:
+                batcher = _RouteBatcher(self, writer)
+                self._route_batchers[writer] = batcher
+            batcher.enqueue(frame)
             return
         # No route: the peer never contacted us and is not in the
         # directory.  Fail-stop semantics — drop.
@@ -279,28 +395,58 @@ class TcpTransport:
     async def _read_frames(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Bulk parse loop: read a large chunk, then decode every complete
+        # frame accumulated so far — one wakeup handles a whole coalesced
+        # batch from the peer.  Bodies are handed to the codec as
+        # ``memoryview`` slices (no per-frame copy); the codec
+        # materializes every decoded leaf, so consuming the buffer
+        # afterwards is safe.
+        buf = bytearray()
         try:
             while True:
-                header = await reader.readexactly(LENGTH_PREFIX)
-                length = int.from_bytes(header, "big")
-                if length > MAX_FRAME:
-                    logger.warning(
-                        "dropping connection: %d-byte frame announced", length
-                    )
+                chunk = await reader.read(self.read_chunk)
+                if not chunk:
                     return
-                body = await reader.readexactly(length)
-                self.frames_received += 1
-                try:
-                    envelope = decode_frame_body(body)
-                except CodecError:
-                    self.decode_errors += 1
-                    logger.warning("undecodable frame", exc_info=True)
-                    continue
-                # Learn/refresh the return route to the sender; replies
-                # to directory-less nodes travel back over this stream.
-                if envelope.sender not in self.directory:
-                    self._routes[envelope.sender] = writer
-                self._dispatch_inbound(envelope)
+                buf += chunk
+                buflen = len(buf)
+                offset = 0
+                while buflen - offset >= LENGTH_PREFIX:
+                    header_end = offset + LENGTH_PREFIX
+                    length = int.from_bytes(buf[offset:header_end], "big")
+                    if length > MAX_FRAME:
+                        logger.warning(
+                            "dropping connection: %d-byte frame announced",
+                            length,
+                        )
+                        return
+                    end = header_end + length
+                    if end > buflen:
+                        break
+                    self.frames_received += 1
+                    try:
+                        envelope = decode_frame_body(
+                            memoryview(buf)[header_end:end]
+                        )
+                    except CodecError:
+                        self.decode_errors += 1
+                        logger.warning("undecodable frame", exc_info=True)
+                        offset = end
+                        continue
+                    offset = end
+                    # Learn/refresh the return route to the sender;
+                    # replies to directory-less nodes travel back over
+                    # this stream.
+                    if envelope.sender not in self.directory:
+                        self._routes[envelope.sender] = writer
+                    self._dispatch_inbound(envelope)
+                if offset:
+                    try:
+                        del buf[:offset]
+                    except BufferError:
+                        # A decode-error traceback can briefly pin a view
+                        # of ``buf``; slicing reads (always allowed) and
+                        # rebinds instead of resizing in place.
+                        buf = buf[offset:]
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             return
         except asyncio.CancelledError:
@@ -308,6 +454,9 @@ class TcpTransport:
             # ending the loop quietly is the cancellation's whole intent.
             return
         finally:
+            batcher = self._route_batchers.pop(writer, None)
+            if batcher is not None:
+                batcher.close()
             for node_id, route in list(self._routes.items()):
                 if route is writer:
                     del self._routes[node_id]

@@ -20,7 +20,10 @@ Two kinds of numbers come out, and they must not be confused:
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -395,32 +398,103 @@ def build_parser() -> argparse.ArgumentParser:
             "to this path (open in Perfetto)"
         ),
     )
+    parser.add_argument(
+        "--codec",
+        action="store_true",
+        help=(
+            "run the codec microbenchmark (encode/decode ns/op per wire "
+            "message type) instead of the scenario matrix; writes "
+            "BENCH_codec.json unless --output is given"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run under cProfile, write the pstats table to PATH and "
+            "print the top-3 hot functions (adds overhead: do not "
+            "combine with --baseline gating)"
+        ),
+    )
     return parser
+
+
+def _write_profile(profiler: cProfile.Profile, path: str) -> None:
+    """Dump the pstats table to ``path`` and print the top-3 by tottime."""
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(40)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(stream.getvalue())
+    hottest = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][2],
+        reverse=True,
+    )[:3]
+    print("top-3 hot functions (tottime):")
+    for (filename, lineno, funcname), row in hottest:
+        calls, tottime = row[1], row[2]
+        print(
+            f"  {funcname} ({filename}:{lineno}) "
+            f"{tottime:.3f}s over {calls} calls"
+        )
+    print(f"wrote profile {path}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    report = run_bench(
-        quick=args.quick, seed=args.seed, trace_path=args.trace
-    )
-    with open(args.output, "w", encoding="utf-8") as handle:
+    profiler: Optional[cProfile.Profile] = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+
+    if args.codec:
+        from repro.net.codec_bench import run_codec_bench
+
+        report = run_codec_bench()
+        output = (
+            args.output if args.output != "BENCH_obs.json"
+            else "BENCH_codec.json"
+        )
+    else:
+        report = run_bench(
+            quick=args.quick, seed=args.seed, trace_path=args.trace
+        )
+        output = args.output
+
+    if profiler is not None:
+        profiler.disable()
+
+    with open(output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    for name, cell in report["scenarios"].items():
-        sim = cell["sim"]
-        wall = cell["wall"]
+
+    if args.codec:
+        for name, cell in report["messages"].items():
+            print(
+                f"{name}: encode {cell['encode_ns']:.0f} ns/op, "
+                f"decode {cell['decode_ns']:.0f} ns/op "
+                f"({cell['frame_bytes']} B frame)"
+            )
+    else:
+        for name, cell in report["scenarios"].items():
+            sim = cell["sim"]
+            wall = cell["wall"]
+            print(
+                f"{name}: {sim['throughput_ops_per_sec']:.1f} ops/s sim, "
+                f"{wall['events_per_second']:.0f} kernel events/s wall"
+            )
         print(
-            f"{name}: {sim['throughput_ops_per_sec']:.1f} ops/s sim, "
-            f"{wall['events_per_second']:.0f} kernel events/s wall"
+            f"kernel total: {report['kernel']['events']} events in "
+            f"{report['kernel']['wall_seconds']}s wall "
+            f"({report['kernel']['events_per_second']:.0f}/s)"
         )
-    print(
-        f"kernel total: {report['kernel']['events']} events in "
-        f"{report['kernel']['wall_seconds']}s wall "
-        f"({report['kernel']['events_per_second']:.0f}/s)"
-    )
-    if args.baseline:
-        print(check_baseline(report, args.baseline))
-    print(f"wrote {args.output}")
+        if args.baseline:
+            print(check_baseline(report, args.baseline))
+    print(f"wrote {output}")
+    if profiler is not None:
+        _write_profile(profiler, args.profile)
     return 0
 
 

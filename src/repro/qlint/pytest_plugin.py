@@ -17,6 +17,7 @@ Options:
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Iterator, List, Optional, Tuple
 
 import pytest
 
@@ -48,7 +49,9 @@ class QlintError(Exception):
 class QlintItem(pytest.Item):
     """One synthetic test item running the whole analysis suite."""
 
-    def __init__(self, *, paths, **kwargs) -> None:
+    def __init__(
+        self, *, paths: Optional[List[Path]], **kwargs: Any
+    ) -> None:
         super().__init__(**kwargs)
         self._paths = paths
 
@@ -58,19 +61,23 @@ class QlintItem(pytest.Item):
         if gating:
             raise QlintError(render_text(findings))
 
-    def repr_failure(self, excinfo):  # noqa: D102 - pytest hook
+    def repr_failure(  # noqa: D102 - pytest hook
+        self,
+        excinfo: pytest.ExceptionInfo[BaseException],
+        style: Optional[str] = None,
+    ) -> Any:
         if isinstance(excinfo.value, QlintError):
             return str(excinfo.value)
         return super().repr_failure(excinfo)
 
-    def reportinfo(self):
+    def reportinfo(self) -> Tuple[Path, Optional[int], str]:
         return self.path, None, "qlint: protocol invariants"
 
 
 class QlintCollector(pytest.Collector):
     """Parent node so the item shows up under a stable ``qlint`` group."""
 
-    def collect(self):
+    def collect(self) -> Iterator[pytest.Item]:
         paths = self.config.getoption("--qlint-paths")
         resolved = [Path(p) for p in paths] if paths else None
         yield QlintItem.from_parent(
@@ -80,7 +87,9 @@ class QlintCollector(pytest.Collector):
 
 @pytest.hookimpl(trylast=True)
 def pytest_collection_modifyitems(
-    session: pytest.Session, config: pytest.Config, items
+    session: pytest.Session,
+    config: pytest.Config,
+    items: List[pytest.Item],
 ) -> None:
     if config.getoption("--no-qlint"):
         return

@@ -16,6 +16,22 @@ the closed loop forever.  Failed writes deliberately keep their
 ``completed_at = inf`` invocation record: the write may still take
 effect later, and a linearizability checker must treat it as forever
 concurrent.
+
+**Pipelining** (``pipeline_depth``): one client may run several
+issue-loop *slots*, each a closed loop of its own, so up to ``depth``
+logical operations are in flight concurrently — the classic lever when
+per-op latency, not server capacity, bounds a closed-loop benchmark.
+Every logical operation still owns a unique ``request_id`` that all its
+retries reuse, so the proxy's write-stamp replay works per operation and
+pipelined histories stay linearizable.  With ``injection_rate > 0`` the
+slots switch from closed-loop to *open-loop* pacing: injections are
+scheduled on a fixed grid of ``rate`` ops/sec per client (staggered
+across slots) regardless of completions, with concurrency still bounded
+by ``depth`` — when every slot is busy the generator degrades to
+closed-loop instead of queueing unboundedly.  ``pipeline_depth=1`` with
+``injection_rate=0`` is byte-identical to the historical single-loop
+client (same spawn names, same RNG draws), which the sim determinism
+suite pins.
 """
 
 from __future__ import annotations
@@ -102,7 +118,15 @@ class ClientNode(Node):
         policy: Optional[ClientConfig] = None,
         events: Optional[EventTimeline] = None,
         obs: Optional[Observability] = None,
+        pipeline_depth: int = 1,
+        injection_rate: float = 0.0,
     ) -> None:
+        # Validate before registering the node: a half-constructed
+        # client must not claim its id on the network.
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be >= 0")
         super().__init__(sim, network, node_id)
         self._proxy_id = proxy_id
         self._workload = workload
@@ -113,17 +137,20 @@ class ClientNode(Node):
         self._policy = (policy or ClientConfig()).validate()
         self._events = events
         self._obs = obs
+        self._pipeline_depth = pipeline_depth
+        self._injection_rate = injection_rate
         self._request_seq = itertools.count(1)
         self._pending: dict[int, Future] = {}
         self._issue_loop_started = False
+        self._draining = False
         self.operations_issued = 0
         self.operation_retries = 0
         self.attempt_timeouts = 0
         self.operations_failed = 0
-        #: Invocation time of the operation currently in flight (None when
-        #: the loop is between operations); chaos tests assert no client
-        #: sits on an operation longer than ``policy.deadline_bound()``.
-        self.inflight_since: Optional[float] = None
+        #: Invocation time per busy pipeline slot; chaos tests assert (via
+        #: :attr:`inflight_since`) that no client sits on an operation
+        #: longer than ``policy.deadline_bound()``.
+        self._inflight_invocations: dict[int, float] = {}
 
         self.register_handler(ClientReadReply, self._on_reply)
         self.register_handler(ClientWriteReply, self._on_reply)
@@ -133,18 +160,69 @@ class ClientNode(Node):
     def proxy_id(self) -> NodeId:
         return self._proxy_id
 
+    @property
+    def pipeline_depth(self) -> int:
+        return self._pipeline_depth
+
+    @property
+    def inflight_since(self) -> Optional[float]:
+        """Invocation time of the oldest operation currently in flight."""
+        if not self._inflight_invocations:
+            return None
+        return min(self._inflight_invocations.values())
+
+    @property
+    def inflight_operations(self) -> int:
+        """Number of logical operations currently in flight."""
+        return len(self._inflight_invocations)
+
+    def stop_issuing(self) -> None:
+        """Stop starting new logical operations; in-flight ones finish.
+
+        A graceful alternative to :meth:`crash` for ending a load phase:
+        every operation runs to completion (or exhausts its bounded
+        retries), so the recorded history carries no forever-concurrent
+        invocation records beyond genuine failures.
+        """
+        self._draining = True
+
     def start(self) -> None:
         super().start()
         if not self._issue_loop_started:
             self._issue_loop_started = True
-            self.spawn(self._issue_loop(), name=f"{self.node_id}.loop")
+            # Slot 0 keeps the historical spawn name so depth-1 runs stay
+            # byte-identical to the pre-pipelining client (determinism
+            # suite pins this).
+            self.spawn(self._issue_loop(0), name=f"{self.node_id}.loop")
+            for slot in range(1, self._pipeline_depth):
+                self.spawn(
+                    self._issue_loop(slot),
+                    name=f"{self.node_id}.loop{slot}",
+                )
 
-    def _issue_loop(self) -> Iterator:
+    def _issue_loop(self, slot: int) -> Iterator:
         obs = self._obs
+        # Open-loop pacing state: injections for this slot land on a grid
+        # of one per ``depth / rate`` seconds, slots staggered evenly.
+        interval = 0.0
+        next_at = 0.0
+        if self._injection_rate > 0:
+            interval = self._pipeline_depth / self._injection_rate
+            next_at = self.sim.now + slot / self._injection_rate
         while self.alive:
+            if self._draining:
+                return
+            if interval > 0:
+                delay = next_at - self.sim.now
+                if delay > 0:
+                    yield self.sim.sleep(delay)
+                # Schedule the following injection; if this slot fell
+                # behind the grid (op slower than the interval), degrade
+                # to closed-loop rather than queueing a backlog.
+                next_at = max(next_at + interval, self.sim.now)
             operation = self._workload.next_operation(self._rng)
             started_at = self.sim.now
-            self.inflight_since = started_at
+            self._inflight_invocations[slot] = started_at
             span: Optional[Span] = None
             if obs is not None:
                 name = (
@@ -194,11 +272,11 @@ class ClientNode(Node):
                     "op-failed",
                     f"{operation.op_type.name.lower()} {operation.object_id}",
                 )
-                self.inflight_since = None
+                self._inflight_invocations.pop(slot, None)
                 if self._think_time > 0:
                     yield self.sim.sleep(self._think_time)
                 continue
-            self.inflight_since = None
+            self._inflight_invocations.pop(slot, None)
             latency = self.sim.now - started_at
             if obs is not None:
                 assert span is not None

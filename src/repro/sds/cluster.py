@@ -127,12 +127,17 @@ class SwiftCluster:
         clients_per_proxy: Optional[int] = None,
         think_time: float = 0.0,
         recorder: Optional[Callable[[OperationRecord], None]] = None,
+        pipeline_depth: int = 1,
+        injection_rate: float = 0.0,
     ) -> list[ClientNode]:
         """Attach closed-loop clients, round-robin across proxies.
 
         ``workload`` is either a single shared :class:`OperationSource`
         or a factory called with the client index (for per-client
-        sources, e.g. multi-tenant scenarios).
+        sources, e.g. multi-tenant scenarios).  ``pipeline_depth`` > 1
+        keeps that many logical operations in flight per client;
+        ``injection_rate`` > 0 switches the client to open-loop pacing
+        (see :class:`~repro.sds.client.ClientNode`).
         """
         count_per_proxy = clients_per_proxy or self.config.clients_per_proxy
         created: list[ClientNode] = []
@@ -158,6 +163,8 @@ class SwiftCluster:
                     policy=self.config.client,
                     events=self.events,
                     obs=self.obs,
+                    pipeline_depth=pipeline_depth,
+                    injection_rate=injection_rate,
                 )
                 client.start()
                 self.clients.append(client)

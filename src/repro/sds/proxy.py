@@ -74,6 +74,10 @@ from repro.topk.stats import ProxyStatsRecorder
 #: Wire overhead of a request/reply beyond the object payload, bytes.
 _HEADER_BYTES = 256
 
+#: Write-stamp replay window per client (must exceed any sane client
+#: pipeline depth; ids are monotonic so eviction is oldest-first).
+_WRITE_STAMP_CACHE = 128
+
 
 class _Gather:
     """In-flight quorum collection for one replica-level operation."""
@@ -165,9 +169,11 @@ class ProxyNode(Node):
         # same logical write must reuse the first attempt's stamp — a
         # fresh stamp would resurrect the retried (old) value above
         # writes that completed in between, breaking linearizability.
-        # Clients issue one operation at a time, so remembering only the
-        # latest request per client suffices.
-        self._write_stamps: dict[NodeId, tuple[int, VersionStamp]] = {}
+        # Pipelined clients keep up to ``pipeline_depth`` logical writes
+        # in flight, so the cache holds a bounded window of recent
+        # request ids per client (ids are monotonic per client; a client
+        # only ever retries ids younger than the eviction horizon).
+        self._write_stamps: dict[NodeId, dict[int, VersionStamp]] = {}
         self.resubmitted_writes = 0
         self.gather_timeouts = 0
         self.operations_failed = 0
@@ -269,15 +275,23 @@ class ProxyNode(Node):
         started_at = self.sim.now
         counter = self._inflight
         counter.increment()
-        cached = self._write_stamps.get(envelope.sender)
-        if cached is not None and cached[0] == request.request_id:
-            stamp = cached[1]
+        stamps = self._write_stamps.get(envelope.sender)
+        if stamps is None:
+            stamps = self._write_stamps[envelope.sender] = {}
+        cached = stamps.get(request.request_id)
+        if cached is not None:
+            stamp = cached
             self.resubmitted_writes += 1
         else:
             stamp = self._versioning.next_stamp(
                 str(self.node_id), request.object_id, self.sim.now
             )
-            self._write_stamps[envelope.sender] = (request.request_id, stamp)
+            stamps[request.request_id] = stamp
+            if len(stamps) > _WRITE_STAMP_CACHE:
+                # Dicts iterate in insertion order: evict the oldest
+                # request id (deterministic; far older than any id a
+                # depth-bounded client could still retry).
+                del stamps[next(iter(stamps))]
         span: Optional[Span] = None
         if self._obs is not None:
             span = self._obs.tracer.start_span(

@@ -82,6 +82,12 @@ class PlacementRing:
         points.sort()
         self._positions = [position for position, _node in points]
         self._owners = [node for _position, node in points]
+        # The ring is immutable after construction, so an object's
+        # replica walk (md5 + bisect + clockwise scan) is computed once
+        # and memoized; the bound only exists so a pathological key
+        # population cannot grow memory without limit.
+        self._replica_cache: dict[ObjectId, tuple[NodeId, ...]] = {}
+        self._replica_cache_cap = 65536
 
     @property
     def nodes(self) -> list[NodeId]:
@@ -102,6 +108,18 @@ class PlacementRing:
         position first picks at most one node per zone; only once every
         zone is represented (or exhausted) does it reuse zones.
         """
+        return list(self._replica_tuple(object_id))
+
+    def _replica_tuple(self, object_id: ObjectId) -> tuple[NodeId, ...]:
+        cached = self._replica_cache.get(object_id)
+        if cached is None:
+            if len(self._replica_cache) >= self._replica_cache_cap:
+                self._replica_cache.clear()
+            cached = tuple(self._compute_replicas(object_id))
+            self._replica_cache[object_id] = cached
+        return cached
+
+    def _compute_replicas(self, object_id: ObjectId) -> list[NodeId]:
         start = bisect.bisect_right(self._positions, _hash64(object_id))
         count = len(self._positions)
         distinct: list[NodeId] = []
@@ -150,9 +168,11 @@ class PlacementRing:
         (Section 2.1): different proxies contact different quorums of the
         same replica set, spreading read load.
         """
-        replicas = self.replicas(object_id)
+        replicas = self._replica_tuple(object_id)
         rotation = proxy_seed % len(replicas)
-        return replicas[rotation:] + replicas[:rotation]
+        if rotation:
+            return list(replicas[rotation:] + replicas[:rotation])
+        return list(replicas)
 
     def load_distribution(self, object_ids: list[ObjectId]) -> dict[NodeId, int]:
         """Replica count per node over a population of objects (for tests)."""

@@ -154,9 +154,8 @@ class StorageNode(Node):
                 object=message.object_id,
                 op_id=message.op_id,
             )
-        size_hint = self._versions.get(
-            message.object_id, missing_version()
-        ).size
+        hinted = self._versions.get(message.object_id)
+        size_hint = hinted.size if hinted is not None else 0
         yield self._disk.use(self._read_service_time(size_hint))
         # Serve whatever is on disk once the request reaches the head of
         # the queue (a concurrent write may have landed meanwhile).

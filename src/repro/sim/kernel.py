@@ -279,7 +279,8 @@ class Simulator:
         self.now = time
         self.events_processed += 1
         callback(*args)
-        self._raise_unhandled()
+        if self._unhandled:
+            self._raise_unhandled()
         return True
 
     def run(self, until: Optional[float] = None) -> None:
@@ -287,16 +288,30 @@ class Simulator:
 
         When ``until`` is given, simulated time is advanced to exactly
         ``until`` even if the queue drains earlier.
+
+        The loop body is :meth:`step` inlined: one iteration runs per
+        simulated event, so the per-event method call and duplicate
+        queue peeks are worth eliding.  Keep the two in lock-step.
         """
         if until is not None and until < self.now:
             raise SimulationError(
                 f"cannot run until {until}: now is already {self.now}"
             )
-        while self._queue:
-            time = self._queue[0][0]
+        queue = self._queue
+        pop = heapq.heappop
+        unhandled = self._unhandled
+        while queue:
+            time = queue[0][0]
             if until is not None and time > until:
                 break
-            self.step()
+            time, _seq, callback, args = pop(queue)
+            if time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = time
+            self.events_processed += 1
+            callback(*args)
+            if unhandled:
+                self._raise_unhandled()
         if until is not None:
             self.now = until
 

@@ -10,7 +10,7 @@ storage/proxy/manager protocol code non-blocking.
 
 from __future__ import annotations
 
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Optional, Tuple
 
 from repro.common.errors import NodeCrashedError, SimulationError
@@ -34,7 +34,11 @@ class Node:
         self.network = network
         self.node_id = node_id
         self.mailbox = network.register(node_id)
-        self._handlers: dict[type, Callable[[Envelope], Any]] = {}
+        # Handler table: payload type -> (handler, child process name).
+        # Both are resolved once at registration so the per-message
+        # dispatch is a single dict probe — no f-string formatting or
+        # reflection on the hot path.
+        self._handlers: dict[type, tuple[Callable[[Envelope], Any], str]] = {}
         self._children: list[Process] = []
         self._loop: Optional[Process] = None
         self.crashed = False
@@ -81,7 +85,10 @@ class Node:
             raise SimulationError(
                 f"{self.node_id}: duplicate handler for {payload_type.__name__}"
             )
-        self._handlers[payload_type] = handler
+        self._handlers[payload_type] = (
+            handler,
+            f"{self.node_id}.{payload_type.__name__}",
+        )
 
     def send(
         self,
@@ -120,20 +127,19 @@ class Node:
             self._dispatch(envelope)
 
     def _dispatch(self, envelope: Envelope) -> None:
-        handler = self._handlers.get(type(envelope.payload))
-        if handler is None:
+        entry = self._handlers.get(type(envelope.payload))
+        if entry is None:
             raise SimulationError(
                 f"{self.node_id}: no handler for payload "
                 f"{type(envelope.payload).__name__}"
             )
+        handler, spawn_name = entry
         result = handler(envelope)
-        if inspect.isgenerator(result):
-            process = self.sim.spawn(
-                result,
-                name=f"{self.node_id}.{type(envelope.payload).__name__}",
-            )
-            self._children.append(process)
-            self._prune_children()
+        if isinstance(result, GeneratorType):
+            children = self._children
+            children.append(self.sim.spawn(result, name=spawn_name))
+            if len(children) > 64:
+                self._children = [c for c in children if c.alive]
 
     def _prune_children(self) -> None:
         if len(self._children) > 64:

@@ -76,10 +76,50 @@ class TestWriteResubmission:
         (latest,) = stored_stamps(tiny_cluster)
         assert latest > first
 
-        # A stale resubmission of request 1 is no longer recognised —
-        # only the latest request per client is remembered (clients are
-        # closed-loop, one operation at a time) — so it mints a fresh
-        # stamp rather than resurrecting request 1's.  The closed loop
-        # guarantees this case cannot arise in practice.
         submit_write(tiny_cluster, proxy, request_id=2, value=b"v2")
         assert proxy.resubmitted_writes == 1
+
+    def test_replay_window_survives_pipelining(self, tiny_cluster):
+        """A pipelined client retries an *older* in-flight request id
+        after younger ones were stamped; the proxy must still replay the
+        original stamp (the cache is a window, not a single slot)."""
+        proxy = tiny_cluster.proxies[0]
+        tiny_cluster.network.register(CLIENT)
+
+        # Four logical writes in flight from one client (depth 4), all
+        # stamped before any retry happens.
+        for request_id in range(1, 5):
+            submit_write(
+                tiny_cluster,
+                proxy,
+                request_id=request_id,
+                value=b"v%d" % request_id,
+            )
+        stamps_before = stored_stamps(tiny_cluster)
+        assert proxy.resubmitted_writes == 0
+
+        # The OLDEST of the four is retried last — before the windowed
+        # cache this minted a fresh stamp, resurrecting the old value
+        # above writes 2-4 (a linearizability violation under depth>1).
+        submit_write(tiny_cluster, proxy, request_id=1, value=b"v1")
+        assert proxy.resubmitted_writes == 1
+        assert stored_stamps(tiny_cluster) == stamps_before
+
+    def test_replay_window_is_bounded(self, tiny_cluster):
+        """Eviction is oldest-first and the window never exceeds its
+        bound, so a pathological client cannot balloon proxy memory."""
+        from repro.sds.proxy import _WRITE_STAMP_CACHE
+
+        proxy = tiny_cluster.proxies[0]
+        tiny_cluster.network.register(CLIENT)
+
+        total = _WRITE_STAMP_CACHE + 10
+        for request_id in range(1, total + 1):
+            submit_write(
+                tiny_cluster, proxy, request_id=request_id, value=b"x"
+            )
+        cache = proxy._write_stamps[CLIENT]
+        assert len(cache) == _WRITE_STAMP_CACHE
+        # The oldest ids fell out of the window; the youngest remain.
+        assert min(cache) == total - _WRITE_STAMP_CACHE + 1
+        assert max(cache) == total
