@@ -121,7 +121,8 @@ class LocalCluster:
             self.workers.append(NodeProcess(address, process))
 
     async def wait_healthy(self, deadline: float = 20.0) -> None:
-        for worker in self.workers:
+        # Snapshot: start() may append more workers while we await.
+        for worker in list(self.workers):
             await wait_healthy(
                 worker.address.host,
                 worker.address.http_port,
@@ -132,7 +133,7 @@ class LocalCluster:
 
     async def shutdown(self, grace: float = 10.0) -> Dict[str, int]:
         """Stop every worker; returns ``{node name: exit code}``."""
-        for worker in self.workers:
+        for worker in list(self.workers):
             if worker.returncode is not None:
                 continue
             try:

@@ -58,10 +58,12 @@ class MiniHttpServer:
         return self._port
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Claim the server before the first await so a concurrent stop()
+        # cannot double-close it (check-then-act across an await).
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -1,6 +1,6 @@
 """qlint — static analysis for Q-OPT's protocol invariants.
 
-Two analyzer families over the ``repro`` source tree:
+Four analyzer families over the ``repro`` source tree:
 
 * **Determinism linters** (QD001-QD004): the discrete-event simulator
   must be bit-for-bit reproducible per seed, so unseeded randomness,
@@ -10,31 +10,60 @@ Two analyzer families over the ``repro`` source tree:
   ``QuorumPlan`` that can reach the data plane must pass through
   ``validate_strict`` (R + W > N, max(R, W) <= N), and statically
   decidable violations are reported at lint time.
+* **Concurrency analyzer** (QC001-QC003): CFG-based interleaving checks
+  across suspension points (``await`` / simulator ``yield``) —
+  check-then-act races, shared-container iteration, and stale
+  epoch/cfg/plan/ring captures.
+* **Protocol analyzer** (QP001-QP002): wire-registry exhaustiveness and
+  append-only ordering, plus symbolic ``R + W > N`` verification at
+  quorum-arithmetic sites.
 
 Run via ``python -m repro.qlint`` or through the bundled pytest plugin
-(``repro.qlint.pytest_plugin``), which tier-1 test runs load.
+(``repro.qlint.pytest_plugin``), which tier-1 test runs load.  See
+``docs/QLINT.md`` for the rule catalog, baseline/allowlist workflow,
+and CI integration.
 """
 
+from repro.qlint.baseline import BaselineEntry, load_baseline
+from repro.qlint.concurrency import ConcurrencyLinter
 from repro.qlint.determinism import DeterminismLinter
 from repro.qlint.findings import (
     Finding,
     Severity,
     exit_code,
+    render_github,
     render_json,
     render_text,
 )
+from repro.qlint.protocol import ProtocolLinter, WIRE_REGISTRY_GOLDEN
 from repro.qlint.quorum_safety import QuorumSafetyLinter
-from repro.qlint.runner import ALL_RULES, RULE_SUMMARIES, run_suite
+from repro.qlint.runner import (
+    ALL_RULES,
+    RULE_SUMMARIES,
+    SuiteReport,
+    collect_stats,
+    run_suite,
+    run_suite_report,
+)
 
 __all__ = [
     "ALL_RULES",
     "RULE_SUMMARIES",
+    "BaselineEntry",
+    "ConcurrencyLinter",
     "DeterminismLinter",
     "Finding",
+    "ProtocolLinter",
     "QuorumSafetyLinter",
     "Severity",
+    "SuiteReport",
+    "WIRE_REGISTRY_GOLDEN",
+    "collect_stats",
     "exit_code",
+    "load_baseline",
+    "render_github",
     "render_json",
     "render_text",
     "run_suite",
+    "run_suite_report",
 ]

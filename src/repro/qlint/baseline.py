@@ -1,0 +1,121 @@
+"""Accepted-findings baseline.
+
+``qlint-baseline.json`` (repo root) records findings that were reviewed
+and accepted — each entry carries a one-line justification and matches
+on ``(rule, package-relative path, enclosing symbol)``, not line
+numbers, so unrelated edits never invalidate it.  A baselined finding is
+dropped from the gating output; an entry that no longer matches anything
+is reported as a ``QL001`` *warning* (non-gating) so stale entries get
+cleaned up instead of silently accumulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Tuple
+
+from repro.qlint.astutils import relative_to_repro
+from repro.qlint.findings import Finding, Severity
+
+#: Default baseline location: the repository root.
+DEFAULT_BASELINE_NAME = "qlint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: what, where, and — mandatory — why."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+
+def default_baseline_path() -> Path:
+    """``<repo root>/qlint-baseline.json`` (repo root = above ``src/``)."""
+    return (
+        Path(__file__).resolve().parent.parent.parent.parent
+        / DEFAULT_BASELINE_NAME
+    )
+
+
+def load_baseline(path: Path) -> Tuple[BaselineEntry, ...]:
+    """Parse a baseline file; every entry must carry a justification."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    raw_entries = data.get("entries", []) if isinstance(data, dict) else []
+    entries: list[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise ValueError(f"baseline entry {index} is not an object")
+        justification = str(raw.get("justification", "")).strip()
+        if not justification:
+            raise ValueError(
+                f"baseline entry {index} ({raw.get('rule')}, "
+                f"{raw.get('path')}) has no justification — every "
+                "accepted finding must say why"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")).replace("\\", "/"),
+                symbol=str(raw.get("symbol", "")),
+                justification=justification,
+            )
+        )
+    return tuple(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (kept, baselined) and report stale entries."""
+    kept: list[Finding] = []
+    baselined: list[Finding] = []
+    matched: set[BaselineEntry] = set()
+    by_key = {
+        (entry.rule, entry.path, entry.symbol): entry for entry in entries
+    }
+    for finding in findings:
+        relative = relative_to_repro(Path(finding.path))
+        entry = by_key.get((finding.rule, relative, finding.symbol))
+        if entry is not None:
+            matched.add(entry)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    stale = [entry for entry in entries if entry not in matched]
+    return kept, baselined, stale
+
+
+def stale_entry_findings(
+    stale: Sequence[BaselineEntry], baseline_path: Path
+) -> list[Finding]:
+    """Non-gating QL001 warnings for entries that matched nothing."""
+    return [
+        Finding(
+            path=str(baseline_path),
+            line=1,
+            column=1,
+            rule="QL001",
+            message=(
+                f"stale baseline entry ({entry.rule}, {entry.path}, "
+                f"{entry.symbol or '<no symbol>'}) matches no current "
+                "finding — remove it"
+            ),
+            severity=Severity.WARNING,
+            symbol=entry.symbol,
+        )
+        for entry in stale
+    ]
+
+
+__all__ = [
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "default_baseline_path",
+    "load_baseline",
+    "stale_entry_findings",
+]

@@ -2,18 +2,32 @@
 
 Exit code 0 when clean (or warnings only), 1 when any error-severity
 finding is present, 2 on usage errors.  ``--format json`` emits a
-machine-readable report for CI.
+machine-readable report for CI; ``--format github`` emits workflow
+annotation commands that surface inline on PR diffs.  ``--stats``
+prints the suppression-debt summary instead of findings (optionally to
+``--output``), and ``--cache DIR`` enables the whole-run result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.qlint.findings import exit_code, render_json, render_text
-from repro.qlint.runner import ALL_RULES, RULE_SUMMARIES, run_suite
+from repro.qlint.findings import (
+    exit_code,
+    render_github,
+    render_json,
+    render_text,
+)
+from repro.qlint.runner import (
+    ALL_RULES,
+    RULE_SUMMARIES,
+    collect_stats,
+    run_suite_report,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -21,8 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.qlint",
         description=(
             "Static analysis for Q-OPT protocol invariants: determinism "
-            "of the simulator and strict quorum intersection at every "
-            "configuration site."
+            "of the simulator, strict quorum intersection at every "
+            "configuration site, interleaving safety across suspension "
+            "points, and wire-registry exhaustiveness."
         ),
     )
     parser.add_argument(
@@ -36,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="output format (default: text)",
     )
@@ -51,13 +66,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every rule id with a one-line summary and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="baseline file of accepted findings "
+        "(default: <repo>/qlint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report accepted findings too",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the findings/suppression summary as JSON and exit "
+        "(non-gating: exit code reflects findings as usual)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        metavar="FILE",
+        help="write the report/stats to FILE as well as stdout",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        metavar="DIR",
+        help="cache whole-run results in DIR keyed on file hashes "
+        "(cross-file rules make per-file caching unsound)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule in ("QL000",) + tuple(ALL_RULES):
+        for rule in ("QL000", "QL001") + tuple(ALL_RULES):
             print(f"{rule}  {RULE_SUMMARIES[rule]}")
         return 0
     if args.select:
@@ -72,13 +118,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not path.exists():
             print(f"no such path: {path}", file=sys.stderr)
             return 2
-    findings = run_suite(
-        paths=args.paths or None, select=args.select or None
-    )
-    if args.format == "json":
-        print(render_json(findings))
+    if args.baseline is not None and not args.baseline.exists():
+        print(f"no such baseline file: {args.baseline}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_suite_report(
+            paths=args.paths or None,
+            baseline_path=args.baseline,
+            use_baseline=not args.no_baseline,
+            cache_dir=args.cache,
+        )
+    except ValueError as exc:  # malformed baseline
+        print(f"qlint: {exc}", file=sys.stderr)
+        return 2
+
+    findings = report.findings
+    if args.select:
+        wanted = set(args.select)
+        findings = [f for f in findings if f.rule in wanted]
+
+    if args.stats:
+        rendered = json.dumps(
+            collect_stats(report), indent=2, sort_keys=True
+        )
+    elif args.format == "json":
+        rendered = render_json(findings)
+    elif args.format == "github":
+        rendered = render_github(findings)
     else:
-        print(render_text(findings))
+        rendered = render_text(findings)
+
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
     return exit_code(findings)
 
 

@@ -32,7 +32,13 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``symbol`` is the enclosing ``Class.function`` (best effort, may be
+    empty).  Baseline entries match on ``(rule, path, symbol)`` rather
+    than line numbers, so unrelated edits to a file do not invalidate
+    accepted findings.
+    """
 
     path: str
     line: int
@@ -40,6 +46,7 @@ class Finding:
     rule: str
     message: str
     severity: Severity = Severity.ERROR
+    symbol: str = ""
 
     def render(self) -> str:
         return (
@@ -76,6 +83,33 @@ def render_json(findings: Sequence[Finding]) -> str:
         ),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    ``::error file=...,line=...,col=...,title=RULE::message`` lines show
+    up inline on the PR diff; non-command lines are passed through as
+    plain log output, so the human summary rides along.
+    """
+    lines = []
+    for finding in sorted(findings):
+        level = "error" if finding.severity.fails_build else "warning"
+        message = finding.message.replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.column},title={finding.rule}::{message}"
+        )
+    errors = sum(1 for f in findings if f.severity.fails_build)
+    warnings = len(findings) - errors
+    lines.append(
+        f"qlint: {errors} error(s), {warnings} warning(s)"
+        if findings
+        else "qlint: clean"
+    )
+    return "\n".join(lines)
 
 
 def exit_code(findings: Iterable[Finding]) -> int:

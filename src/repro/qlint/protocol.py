@@ -1,0 +1,509 @@
+"""Protocol linters (rules QP001-QP002).
+
+QP001  wire-registry-exhaustiveness
+    Every top-level ``@dataclass`` in a ``messages.py`` module must (a)
+    appear in a ``WIRE_TYPES`` registry somewhere in the analyzed file
+    set and (b) have a ``register_handler(Class, ...)`` call somewhere —
+    unless it is *embedded*, i.e. referenced from another message's field
+    annotations (value types like ``ObjectStats`` ride inside
+    ``RoundStats`` and never get their own handler).  The codec registry
+    is positional and append-only: for the canonical codec module the
+    registry must start with the golden name sequence below — inserting,
+    removing, or reordering entries is a silent wire-format break.
+
+QP002  symbolic-strict-quorum-arithmetic
+    ``QuorumConfig(read=..., write=...)`` construction sites are checked
+    symbolically: read/write expressions are reduced to linear forms over
+    opaque variables (with interval slack for floor division), the
+    replication degree ``N`` is identified by variable name, and
+    ``R + W > N`` is evaluated.  Only *provable* violations are reported
+    (e.g. ``read=n - w``, or the classic ``n//2``/``n//2`` split);
+    provably-strict and undecidable sites stay silent.  This is the
+    machine check that survives the generalized ``QuorumSystem``
+    refactor, where quorum sizes stop being the single ``R = N-W+1``
+    rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.qlint.astutils import (
+    SourceFile,
+    dotted_name,
+    relative_to_repro,
+    walk_functions,
+)
+from repro.qlint.findings import Finding, Severity
+
+#: Golden prefix of the codec's ``WIRE_TYPES`` registry.  Positional
+#: codes are the wire format; this pin makes "append-only" machine
+#: checked.  Extending the protocol appends names here in the same PR
+#: that appends to the registry.
+WIRE_REGISTRY_GOLDEN: Tuple[str, ...] = (
+    "NodeId",
+    "QuorumConfig",
+    "VersionStamp",
+    "VectorStamp",
+    "Version",
+    "QuorumPlan",
+    "ClientRead",
+    "ClientWrite",
+    "ClientReadReply",
+    "ClientWriteReply",
+    "ClientOperationFailed",
+    "ReplicaRead",
+    "ReplicaReadReply",
+    "ReplicaWrite",
+    "ReplicaWriteReply",
+    "ReplicaSync",
+    "EpochNack",
+    "NewQuorum",
+    "AckNewQuorum",
+    "Confirm",
+    "AckConfirm",
+    "PauseProxy",
+    "AckPause",
+    "ResumeProxy",
+    "NewEpoch",
+    "AckNewEpoch",
+    "NewRound",
+    "ObjectStats",
+    "AggregateStats",
+    "RoundStats",
+    "NewTopK",
+    "NewStats",
+    "NewQuorums",
+    "TailStats",
+    "TailQuorum",
+    "FineRec",
+    "CoarseRec",
+    "AckRec",
+)
+
+#: Variable names (final dotted segment) accepted as the replication
+#: degree ``N`` in QP002.
+_N_NAMES = frozenset(
+    {
+        "n",
+        "degree",
+        "replication_degree",
+        "replicas",
+        "num_replicas",
+        "n_replicas",
+        "nodes",
+        "num_nodes",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# QP002: linear symbolic arithmetic with floor-division slack
+# ---------------------------------------------------------------------------
+
+
+class _Linear:
+    """``sum(coeff * var) + const + slack`` with ``slack in [lo, hi]``.
+
+    Floor division by a positive literal ``k`` keeps the form linear at
+    the cost of widening slack: ``e // k`` lies in
+    ``[e/k - (k-1)/k, e/k]``.
+    """
+
+    def __init__(
+        self,
+        coeffs: Optional[Dict[str, Fraction]] = None,
+        const: Fraction = Fraction(0),
+        lo: Fraction = Fraction(0),
+        hi: Fraction = Fraction(0),
+    ) -> None:
+        self.coeffs = {k: v for k, v in (coeffs or {}).items() if v != 0}
+        self.const = const
+        self.lo = lo
+        self.hi = hi
+
+    @staticmethod
+    def var(name: str) -> "_Linear":
+        return _Linear({name: Fraction(1)})
+
+    @staticmethod
+    def num(value: int) -> "_Linear":
+        return _Linear(const=Fraction(value))
+
+    def add(self, other: "_Linear", sign: int = 1) -> "_Linear":
+        coeffs = dict(self.coeffs)
+        for name, coeff in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, Fraction(0)) + sign * coeff
+        if sign > 0:
+            lo, hi = self.lo + other.lo, self.hi + other.hi
+        else:
+            lo, hi = self.lo - other.hi, self.hi - other.lo
+        return _Linear(
+            coeffs, self.const + sign * other.const, lo, hi
+        )
+
+    def scale(self, factor: Fraction) -> "_Linear":
+        coeffs = {k: v * factor for k, v in self.coeffs.items()}
+        if factor >= 0:
+            lo, hi = self.lo * factor, self.hi * factor
+        else:
+            lo, hi = self.hi * factor, self.lo * factor
+        return _Linear(coeffs, self.const * factor, lo, hi)
+
+    def floordiv(self, k: int) -> "_Linear":
+        scaled = self.scale(Fraction(1, k))
+        return _Linear(
+            scaled.coeffs,
+            scaled.const,
+            scaled.lo - Fraction(k - 1, k),
+            scaled.hi,
+        )
+
+
+def _linearize(node: ast.expr) -> Optional[_Linear]:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return _Linear.num(node.value)
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return _Linear.var(dotted)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _linearize(node.operand)
+        return inner.scale(Fraction(-1)) if inner is not None else None
+    if isinstance(node, ast.BinOp):
+        left = _linearize(node.left)
+        right = _linearize(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left.add(right)
+        if isinstance(node.op, ast.Sub):
+            return left.add(right, sign=-1)
+        if isinstance(node.op, ast.Mult):
+            if not right.coeffs and right.lo == right.hi == 0:
+                return left.scale(right.const)
+            if not left.coeffs and left.lo == left.hi == 0:
+                return right.scale(left.const)
+            return None
+        if isinstance(node.op, ast.FloorDiv):
+            if (
+                not right.coeffs
+                and right.lo == right.hi == 0
+                and right.const > 0
+                and right.const.denominator == 1
+            ):
+                return left.floordiv(int(right.const))
+            return None
+        return None
+    return None
+
+
+def _quorum_margin(
+    read: ast.expr, write: ast.expr
+) -> Optional[Tuple[Fraction, Fraction]]:
+    """Bounds of ``R + W - N`` if decidable, else None.
+
+    Strict intersection requires the margin to be >= 1 everywhere; a
+    certain violation has an upper bound <= 0.
+    """
+    read_form = _linearize(read)
+    write_form = _linearize(write)
+    if read_form is None or write_form is None:
+        return None
+    total = read_form.add(write_form)
+    candidates = sorted(
+        name
+        for name in total.coeffs
+        if name.rsplit(".", 1)[-1] in _N_NAMES
+    )
+    if len(candidates) != 1:
+        return None
+    margin = total.add(_Linear.var(candidates[0]), sign=-1)
+    if margin.coeffs:
+        return None
+    return margin.const + margin.lo, margin.const + margin.hi
+
+
+# ---------------------------------------------------------------------------
+# the linter
+# ---------------------------------------------------------------------------
+
+
+class ProtocolLinter:
+    """Cross-file wire/arithmetic checks (QP001, QP002).
+
+    Like :class:`~repro.qlint.quorum_safety.QuorumSafetyLinter`, call
+    :meth:`prepare` with every source in scope before :meth:`run` — the
+    message census, registry entries, and handler registrations are
+    global facts.
+    """
+
+    rules = ("QP001", "QP002")
+
+    def __init__(
+        self, golden: Optional[Sequence[str]] = WIRE_REGISTRY_GOLDEN
+    ) -> None:
+        self._golden = tuple(golden) if golden else ()
+        #: message name -> (source path, ClassDef) from messages modules.
+        self._messages: Dict[str, Tuple[str, ast.ClassDef]] = {}
+        #: message names referenced from other messages' annotations.
+        self._embedded: set[str] = set()
+        #: union of every WIRE_TYPES registry's entry names.
+        self._registered: set[str] = set()
+        #: class names passed to ``register_handler``.
+        self._handled: set[str] = set()
+
+    # -- cross-file census ---------------------------------------------------
+
+    def prepare(self, sources: Sequence[SourceFile]) -> None:
+        self._messages.clear()
+        self._embedded.clear()
+        self._registered.clear()
+        self._handled.clear()
+        for source in sources:
+            if source.path.name == "messages.py":
+                self._collect_messages(source)
+            for entries in self._iter_registries(source.tree):
+                self._registered.update(entries)
+            self._collect_handlers(source.tree)
+        annotations: set[str] = set()
+        for _name, (_path, node) in sorted(self._messages.items()):
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign):
+                    for child in ast.walk(stmt.annotation):
+                        if isinstance(child, ast.Name):
+                            annotations.add(child.id)
+                        elif isinstance(child, ast.Attribute):
+                            annotations.add(child.attr)
+                        elif isinstance(child, ast.Constant) and isinstance(
+                            child.value, str
+                        ):
+                            annotations.add(child.value.strip("'\""))
+        self._embedded = annotations & set(self._messages)
+
+    def _collect_messages(self, source: SourceFile) -> None:
+        for stmt in source.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            is_dataclass = any(
+                (isinstance(dec, ast.Name) and dec.id == "dataclass")
+                or (
+                    isinstance(dec, ast.Call)
+                    and isinstance(dec.func, ast.Name)
+                    and dec.func.id == "dataclass"
+                )
+                or (
+                    isinstance(dec, ast.Attribute)
+                    and dec.attr == "dataclass"
+                )
+                for dec in stmt.decorator_list
+            )
+            if is_dataclass:
+                self._messages[stmt.name] = (str(source.path), stmt)
+
+    @staticmethod
+    def _iter_registries(tree: ast.Module) -> Iterator[List[str]]:
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not isinstance(value, (ast.Tuple, ast.List)):
+                continue
+            named = any(
+                isinstance(t, ast.Name) and t.id == "WIRE_TYPES"
+                for t in targets
+            )
+            if not named:
+                continue
+            entries: list[str] = []
+            for element in value.elts:
+                dotted = dotted_name(element)
+                if dotted is not None:
+                    entries.append(dotted.rsplit(".", 1)[-1])
+            yield entries
+
+    def _collect_handlers(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or not dotted.endswith("register_handler"):
+                continue
+            if not node.args:
+                continue
+            target = dotted_name(node.args[0])
+            if target is not None:
+                self._handled.add(target.rsplit(".", 1)[-1])
+
+    # -- per-file run --------------------------------------------------------
+
+    def run(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        if source.path.name == "messages.py":
+            findings.extend(self._check_exhaustiveness(source))
+        findings.extend(self._check_registry_order(source))
+        findings.extend(self._check_quorum_arithmetic(source))
+        return [
+            finding
+            for finding in findings
+            if not source.suppressed(finding.line, finding.rule)
+        ]
+
+    def _check_exhaustiveness(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        if not self._registered:
+            # No registry in scope (e.g. a fixture linting messages.py
+            # alone) — exhaustiveness is undecidable, stay silent.
+            return findings
+        path = str(source.path)
+        for name, (owner_path, node) in sorted(self._messages.items()):
+            if owner_path != path:
+                continue
+            if name not in self._registered:
+                findings.append(
+                    self._finding(
+                        source,
+                        node,
+                        "QP001",
+                        f"message dataclass `{name}` is not registered "
+                        "in the codec's WIRE_TYPES — it cannot cross "
+                        "the wire; append it to the registry",
+                        name,
+                    )
+                )
+            if name not in self._handled and name not in self._embedded:
+                findings.append(
+                    self._finding(
+                        source,
+                        node,
+                        "QP001",
+                        f"message dataclass `{name}` has no "
+                        "`register_handler(...)` anywhere in scope and "
+                        "is not embedded in another message — it would "
+                        "be silently dropped on delivery",
+                        name,
+                    )
+                )
+        return findings
+
+    def _check_registry_order(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        if not self._golden:
+            return findings
+        relative = relative_to_repro(source.path)
+        if not relative.endswith("net/codec.py"):
+            return findings
+        for stmt in source.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            for entries in self._iter_registries_of(stmt):
+                prefix = tuple(entries[: len(self._golden)])
+                if prefix != self._golden:
+                    divergence = next(
+                        (
+                            i
+                            for i, (have, want) in enumerate(
+                                zip(prefix, self._golden)
+                            )
+                            if have != want
+                        ),
+                        len(prefix),
+                    )
+                    findings.append(
+                        self._finding(
+                            source,
+                            stmt,
+                            "QP001",
+                            "WIRE_TYPES diverges from the golden "
+                            f"append-only order at position {divergence} "
+                            f"(expected `{self._golden[divergence] if divergence < len(self._golden) else '<end>'}`) "
+                            "— codes are positional; never insert, "
+                            "remove, or reorder, only append",
+                            "WIRE_TYPES",
+                        )
+                    )
+        return findings
+
+    def _iter_registries_of(self, stmt: ast.stmt) -> Iterator[List[str]]:
+        module = ast.Module(body=[stmt], type_ignores=[])
+        yield from self._iter_registries(module)
+
+    def _check_quorum_arithmetic(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        symbol_of: Dict[int, str] = {}
+        for func, owner in walk_functions(source.tree):
+            name = getattr(func, "name", "<lambda>")
+            symbol = f"{owner}.{name}" if owner else name
+            for child in ast.walk(func):
+                symbol_of.setdefault(id(child), symbol)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or dotted.rsplit(".", 1)[-1] != "QuorumConfig":
+                continue
+            read, write = self._quorum_args(node)
+            if read is None or write is None:
+                continue
+            margin = _quorum_margin(read, write)
+            if margin is None:
+                continue
+            lo, hi = margin
+            if hi <= 0:
+                findings.append(
+                    self._finding(
+                        source,
+                        node,
+                        "QP002",
+                        "quorum arithmetic provably violates strict "
+                        f"intersection: R + W - N <= {hi} here, but "
+                        "R + W > N is required (read and write quorums "
+                        "must overlap; see QuorumConfig.is_strict)",
+                        symbol_of.get(id(node), ""),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _quorum_args(
+        node: ast.Call,
+    ) -> Tuple[Optional[ast.expr], Optional[ast.expr]]:
+        read: Optional[ast.expr] = None
+        write: Optional[ast.expr] = None
+        if len(node.args) >= 1:
+            read = node.args[0]
+        if len(node.args) >= 2:
+            write = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "read":
+                read = keyword.value
+            elif keyword.arg == "write":
+                write = keyword.value
+        return read, write
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _finding(
+        source: SourceFile,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        symbol: str,
+    ) -> Finding:
+        return Finding(
+            path=str(source.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+            severity=Severity.ERROR,
+            symbol=symbol,
+        )
+
+
+__all__ = ["ProtocolLinter", "WIRE_REGISTRY_GOLDEN"]

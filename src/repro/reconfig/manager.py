@@ -126,7 +126,7 @@ class ReconfigurationManager(Node):
         # Duplicate suppression for retransmitted AM requests.
         self._acked_fine_round = 0
         self._fine_in_progress: set[int] = set()
-        self._coarse_in_progress: Optional[QuorumConfig] = None
+        self._coarse_in_progress: set[QuorumConfig] = set()
 
         # Observability.
         self._obs = obs
@@ -434,18 +434,24 @@ class ReconfigurationManager(Node):
 
     def _on_coarse_rec(self, envelope: Envelope) -> Iterator[Future]:
         request: CoarseRec = envelope.payload
-        if request.quorum == self._coarse_in_progress:
+        if request.quorum in self._coarse_in_progress:
             # Retransmitted duplicate of a running request: drop it.  If
             # the eventual ack is lost too, a later retransmission will
             # re-run the (idempotent) reconfiguration and re-ack.
             return
-        self._coarse_in_progress = request.quorum
+        # A per-quorum marker set, not a single slot: two overlapping
+        # coarse requests (the second queued on the reconfiguration
+        # mutex) must each keep their own duplicate-suppression marker —
+        # a shared slot is cleared by whichever finishes first, letting a
+        # retransmission of the still-running request start a third,
+        # redundant reconfiguration.
+        self._coarse_in_progress.add(request.quorum)
         try:
             yield from self._reconfigure(
                 lambda current: current.with_default(request.quorum)
             )
         finally:
-            self._coarse_in_progress = None
+            self._coarse_in_progress.discard(request.quorum)
         self.send(envelope.sender, AckRec(round_no=-1), size=_CONTROL_BYTES)
 
     def _broadcast_proxies(self, payload: _PhaseMessage) -> None:

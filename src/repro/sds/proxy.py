@@ -729,6 +729,12 @@ class ProxyNode(Node):
         draining = self._inflight
         self._inflight = PendingCounter(self.sim)
         yield draining.wait_drained()
+        # Re-check the fence after draining: an EpochNack adoption may
+        # have moved us past this NEWQ's epoch, in which case the RM has
+        # already started a newer change and this ack is for a superseded
+        # phase — drop it rather than vouch for a dead configuration.
+        if self._epoch_no > message.epoch_no:
+            return
         self.send(
             envelope.sender,
             AckNewQuorum(epoch_no=message.epoch_no, proxy=self.node_id),

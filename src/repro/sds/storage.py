@@ -157,6 +157,15 @@ class StorageNode(Node):
         hinted = self._versions.get(message.object_id)
         size_hint = hinted.size if hinted is not None else 0
         yield self._disk.use(self._read_service_time(size_hint))
+        # Re-check the fence: a NEWEP may have been adopted while this
+        # request waited in the disk queue.  Serving it anyway would let
+        # a read from a superseded epoch count toward a quorum that no
+        # longer intersects the fenced configuration (Section 5.3).
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id, envelope.trace)
+            if span is not None:
+                span.finish(status="stale-epoch")
+            return
         # Serve whatever is on disk once the request reaches the head of
         # the queue (a concurrent write may have landed meanwhile).
         version = self._versions.get(message.object_id, missing_version())
@@ -194,6 +203,14 @@ class StorageNode(Node):
                 op_id=message.op_id,
             )
         yield self._disk.use(self._write_service_time(message.size))
+        # Re-check the fence after the disk wait (see _on_read): a write
+        # from a superseded epoch must be nacked, not applied — applying
+        # it would resurrect state the reconfiguration already fenced off.
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id, envelope.trace)
+            if span is not None:
+                span.finish(status="stale-epoch")
+            return
         current = self._versions.get(message.object_id)
         # "storage nodes acknowledge the proxy but discard any write
         # request that is older than the latest write operation that they

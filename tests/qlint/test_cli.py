@@ -73,13 +73,58 @@ class TestCli:
     def test_list_rules_covers_every_rule(self, capsys):
         assert qlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("QL000",) + tuple(ALL_RULES):
+        for rule in ("QL000", "QL001") + tuple(ALL_RULES):
             assert rule in out
-        assert set(RULE_SUMMARIES) == {"QL000", *ALL_RULES}
+        assert set(RULE_SUMMARIES) == {"QL000", "QL001", *ALL_RULES}
 
     def test_repro_cli_forwards_qlint(self, bad_tree, capsys):
         assert repro_main(["qlint", str(bad_tree)]) == 1
         assert "QD001" in capsys.readouterr().out
+
+    def test_github_format_emits_annotations(self, bad_tree, capsys):
+        assert qlint_main([str(bad_tree), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=QD001" in out
+
+    def test_github_format_clean_tree(self, clean_tree, capsys):
+        assert qlint_main([str(clean_tree), "--format", "github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+    def test_stats_reports_findings_by_rule(self, bad_tree, capsys, tmp_path):
+        out_file = tmp_path / "stats.json"
+        assert qlint_main(
+            [str(bad_tree), "--stats", "--output", str(out_file)]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "qlint-stats/1"
+        assert payload["findings"]["by_rule"] == {"QD001": 1}
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_cache_round_trip(self, bad_tree, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert qlint_main([str(bad_tree), "--cache", str(cache)]) == 1
+        first = capsys.readouterr().out
+        assert len(list(cache.glob("qlint-*.json"))) == 1
+        assert qlint_main([str(bad_tree), "--cache", str(cache)]) == 1
+        assert capsys.readouterr().out == first
+        # An edit changes the digest: the stale entry is not reused.
+        (bad_tree / "bad.py").write_text("def ok():\n    return 1\n")
+        assert qlint_main([str(bad_tree), "--cache", str(cache)]) == 0
+        assert "qlint: clean" in capsys.readouterr().out
+        assert len(list(cache.glob("qlint-*.json"))) == 2
+
+    def test_malformed_baseline_is_usage_error(
+        self, bad_tree, capsys, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            '{"entries": [{"rule": "QD001", "path": "x.py"}]}'
+        )
+        assert qlint_main(
+            [str(bad_tree), "--baseline", str(baseline)]
+        ) == 2
+        assert "justification" in capsys.readouterr().err
 
 
 class TestDefaultScope:

@@ -1,0 +1,236 @@
+"""QC001-QC003: interleaving bugs across coroutine suspension points."""
+
+from __future__ import annotations
+
+from tests.qlint.conftest import rules_of
+
+
+class TestCheckThenAct:
+    """QC001 — a guard read before a suspension gates a write after it."""
+
+    def test_async_check_then_act_flagged(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def admit(self, op):
+                    if op.key not in self._pending:
+                        await self._disk.use(1.0)
+                        self._pending[op.key] = op
+            """
+        )
+        assert rules_of(findings) == ["QC001"]
+
+    def test_recheck_after_await_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def admit(self, op):
+                    if op.key not in self._pending:
+                        await self._disk.use(1.0)
+                        if op.key not in self._pending:
+                            self._pending[op.key] = op
+            """
+        )
+        assert findings == []
+
+    def test_monotonic_max_update_is_exempt(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def observe(self, value):
+                    if value > self._high_water:
+                        await self._log.use(1.0)
+                        self._high_water = max(self._high_water, value)
+            """
+        )
+        assert findings == []
+
+    def test_sim_generator_yields_count_as_suspensions(self, lint):
+        findings = lint(
+            """
+            class Node:
+                def admit(self, op):
+                    if op.key not in self._pending:
+                        yield self._disk.use(1.0)
+                        self._pending[op.key] = op
+            """
+        )
+        assert rules_of(findings) == ["QC001"]
+
+    def test_plain_generator_is_not_a_coroutine(self, lint):
+        # No waitable yields -> an ordinary iterator, not a protocol
+        # coroutine; its yields are consumer pulls, not interleavings.
+        findings = lint(
+            """
+            class Node:
+                def snapshots(self, op):
+                    if op.key not in self._pending:
+                        yield op.key
+                        self._pending[op.key] = op
+            """
+        )
+        assert findings == []
+
+    def test_write_without_prior_guard_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def record(self, op):
+                    await self._disk.use(1.0)
+                    self._pending[op.key] = op
+            """
+        )
+        assert findings == []
+
+
+class TestSharedIteration:
+    """QC002 — iterating a shared container around a suspension."""
+
+    def test_items_iteration_with_await_flagged(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def flush(self):
+                    for key, value in self._table.items():
+                        await self._disk.use(value)
+            """
+        )
+        assert rules_of(findings) == ["QC002"]
+
+    def test_list_snapshot_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def flush(self):
+                    for key, value in list(self._table.items()):
+                        await self._disk.use(value)
+            """
+        )
+        assert findings == []
+
+    def test_loop_without_suspension_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def total(self):
+                    total = 0
+                    for value in self._table:
+                        total += value
+                    await self._disk.use(total)
+            """
+        )
+        assert findings == []
+
+    def test_sim_generator_iteration_flagged(self, lint):
+        findings = lint(
+            """
+            class Node:
+                def broadcast(self, payload):
+                    for peer in self._ring:
+                        yield self._link.use(peer, payload)
+            """
+        )
+        assert rules_of(findings) == ["QC002"]
+
+
+class TestStaleCapture:
+    """QC003 form (a) — a captured epoch/cfg/plan/ring local goes stale."""
+
+    def test_captured_epoch_used_after_await_flagged(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def write(self, op):
+                    epoch = self._epoch_no
+                    await self._disk.use(op.size)
+                    self._reply(op, epoch)
+            """
+        )
+        assert rules_of(findings) == ["QC003"]
+
+    def test_recapture_after_await_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def write(self, op):
+                    epoch = self._epoch_no
+                    self._admit(op, epoch)
+                    await self._disk.use(op.size)
+                    epoch = self._epoch_no
+                    self._reply(op, epoch)
+            """
+        )
+        assert findings == []
+
+    def test_subscript_key_use_is_exempt(self, lint):
+        # Keying a table by the value a round started with is the
+        # intentional snapshot idiom, not a staleness bug.
+        findings = lint(
+            """
+            class Node:
+                async def finish(self, op):
+                    epoch = self._epoch_no
+                    self._acks[epoch] = op
+                    await self._gate.wait()
+                    del self._acks[epoch]
+            """
+        )
+        assert findings == []
+
+    def test_non_protocol_capture_not_tracked(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def tick(self):
+                    count = self._count
+                    await self._gate.wait()
+                    self._report(count)
+            """
+        )
+        assert findings == []
+
+
+class TestStaleFence:
+    """QC003 form (b) — an epoch/cfg fence checked before a suspension
+    but acted on (a send) after it."""
+
+    def test_send_after_suspended_fence_flagged(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def on_read(self, message):
+                    if message.epoch_no < self._epoch_no:
+                        return
+                    await self._disk.use(message.size)
+                    self.send(message.sender, self._value)
+            """
+        )
+        assert rules_of(findings) == ["QC003"]
+
+    def test_refenced_send_is_clean(self, lint):
+        findings = lint(
+            """
+            class Node:
+                async def on_read(self, message):
+                    if message.epoch_no < self._epoch_no:
+                        return
+                    await self._disk.use(message.size)
+                    if message.epoch_no < self._epoch_no:
+                        return
+                    self.send(message.sender, self._value)
+            """
+        )
+        assert findings == []
+
+    def test_plain_load_never_arms_the_fence(self, lint):
+        # Reading the epoch to *construct* a message is not a fencing
+        # decision; only functions that guard on it are in scope.
+        findings = lint(
+            """
+            class Node:
+                async def publish(self):
+                    await self._gate.wait()
+                    self.send(self._peer, self._epoch_no)
+            """
+        )
+        assert findings == []

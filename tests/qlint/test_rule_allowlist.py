@@ -1,0 +1,119 @@
+"""Per-rule ``[tool.qlint.allow]`` waivers: scoped by rule AND prefix."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.qlint.runner import (
+    _parse_section_arrays_fallback,
+    load_rule_allowlists,
+    repro_root,
+    run_suite_report,
+)
+
+MIXED = """
+    import random
+
+    def jitter(acc=[]):
+        acc.append(random.random())
+        return acc
+"""
+
+
+def _write_tree(tmp_path: Path) -> Path:
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "mixed.py").write_text(textwrap.dedent(MIXED))
+    return tree
+
+
+def test_waiver_is_scoped_to_its_rule(tmp_path):
+    """Waiving QD001 under a prefix must not touch QD004 there."""
+    tree = _write_tree(tmp_path)
+    report = run_suite_report(
+        paths=[tree], rule_allow={"QD001": (str(tree),)}
+    )
+    assert sorted(f.rule for f in report.findings) == ["QD004"]
+    assert [f.rule for f in report.waived] == ["QD001"]
+
+
+def test_waiver_is_scoped_to_its_prefix(tmp_path):
+    tree = _write_tree(tmp_path)
+    report = run_suite_report(
+        paths=[tree], rule_allow={"QD001": (str(tmp_path / "elsewhere"),)}
+    )
+    assert sorted(f.rule for f in report.findings) == ["QD001", "QD004"]
+    assert report.waived == []
+
+
+def test_no_allowlist_reports_everything(tmp_path):
+    tree = _write_tree(tmp_path)
+    report = run_suite_report(paths=[tree], rule_allow={})
+    assert sorted(f.rule for f in report.findings) == ["QD001", "QD004"]
+
+
+def test_load_from_pyproject_snippet(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        textwrap.dedent(
+            """
+            [tool.qlint]
+            nondeterminism_allowed = ["net/"]
+
+            [tool.qlint.allow]
+            QC003 = ["harness/"]
+            QP002 = [
+                "oracle/",
+                'analysis/',
+            ]
+
+            [tool.other]
+            x = 1
+            """
+        )
+    )
+    assert load_rule_allowlists(pyproject) == {
+        "QC003": ("harness/",),
+        "QP002": ("oracle/", "analysis/"),
+    }
+
+
+def test_fallback_parser_matches_tomllib_on_repo_pyproject():
+    text = (repro_root().parent.parent / "pyproject.toml").read_text(
+        encoding="utf-8"
+    )
+    assert (
+        _parse_section_arrays_fallback(text, "[tool.qlint.allow]")
+        == load_rule_allowlists()
+    )
+
+
+def test_fallback_parser_handles_multiline_arrays():
+    text = textwrap.dedent(
+        """
+        [tool.qlint.allow]
+        QC003 = [
+            "harness/",
+            'obs/',
+        ]
+        QD001 = ["net/"]
+
+        [tool.after]
+        x = 1
+        """
+    )
+    assert _parse_section_arrays_fallback(text, "[tool.qlint.allow]") == {
+        "QC003": ("harness/", "obs/"),
+        "QD001": ("net/",),
+    }
+
+
+def test_fallback_parser_empty_cases():
+    assert _parse_section_arrays_fallback("", "[tool.qlint.allow]") == {}
+    assert (
+        _parse_section_arrays_fallback(
+            "[tool.qlint.allow]\n", "[tool.qlint.allow]"
+        )
+        == {}
+    )

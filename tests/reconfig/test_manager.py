@@ -142,6 +142,62 @@ class TestFailurePath:
         assert during > 10
 
 
+class TestCoarseRec:
+    """COARSEREC duplicate suppression across overlapping requests."""
+
+    def _attach_probe(self, cluster, rm):
+        from repro.common.types import NodeId
+        from repro.sds.messages import AckRec
+        from repro.sim.node import Node
+
+        acks = []
+        probe = Node(cluster.sim, cluster.network, NodeId.proxy(97))
+        probe.register_handler(AckRec, lambda e: acks.append(e.payload))
+        probe.start()
+        return probe, acks
+
+    def test_retransmitted_duplicate_dropped(self, tiny_cluster):
+        from repro.sds.messages import CoarseRec
+
+        rm = attach_reconfiguration_manager(tiny_cluster)
+        probe, acks = self._attach_probe(tiny_cluster, rm)
+        probe.send(rm.node_id, CoarseRec(quorum=QuorumConfig(1, 5)))
+        probe.send(rm.node_id, CoarseRec(quorum=QuorumConfig(1, 5)))
+        tiny_cluster.run(2.0)
+        assert rm.cfg_no == 1  # the duplicate must not reconfigure again
+        assert len(acks) == 1
+        assert rm.current_plan.default == QuorumConfig(1, 5)
+
+    def test_overlapping_requests_keep_their_own_markers(self, tiny_cluster):
+        """Two queued coarse requests each suppress their own duplicates:
+        the first one finishing must not clear the marker of the second
+        (the scalar-slot bug let a retransmission of the still-running
+        request start a third, redundant reconfiguration)."""
+        from repro.sds.messages import CoarseRec
+
+        rm = attach_reconfiguration_manager(tiny_cluster)
+        probe, acks = self._attach_probe(tiny_cluster, rm)
+        probe.send(rm.node_id, CoarseRec(quorum=QuorumConfig(1, 5)))
+        probe.send(rm.node_id, CoarseRec(quorum=QuorumConfig(5, 1)))
+        # Advance until the first request's ACKREC arrived (its handler —
+        # including the marker-clearing finally — has fully finished) and
+        # the second holds the reconfiguration mutex.  ``cfg_no`` is no
+        # proxy for completion: it increments when a reconfiguration
+        # *starts*.
+        for _ in range(2000):
+            tiny_cluster.run(0.002)
+            if acks:
+                break
+        assert len(acks) == 1, "first reconfiguration did not complete"
+        assert rm.reconfiguring, "second request should be in flight"
+        # Retransmission of the *running* second request.
+        probe.send(rm.node_id, CoarseRec(quorum=QuorumConfig(5, 1)))
+        tiny_cluster.run(2.0)
+        assert rm.cfg_no == 2
+        assert len(acks) == 2
+        assert rm.current_plan.default == QuorumConfig(5, 1)
+
+
 class TestBlockingBaseline:
     def test_blocking_manager_installs_plan(self, tiny_cluster):
         rm = attach_blocking_manager(tiny_cluster)

@@ -176,6 +176,30 @@ class TestEpochs:
         sim.run()
         assert storage.version_of("obj").value == b"v1"
 
+    def test_epoch_adopted_during_disk_wait_nacks_write(
+        self, sim, storage, probe
+    ):
+        """A NEWEP that lands while a write sits in the disk queue must
+        fence that write: the entry check passed under the old epoch,
+        so only the post-wait re-check can catch it (Section 5.3)."""
+        probe.send(STORAGE, write_message(op_id=9, epoch=0))
+        probe.send(STORAGE, NewEpoch(epoch_no=2, cfg_no=1, plan=PLAN))
+        sim.run()
+        assert storage.epoch_no == 2
+        assert storage.version_of("obj").value is None
+        assert probe.write_replies == []
+        assert probe.nacks[0].op_id == 9
+
+    def test_epoch_adopted_during_disk_wait_nacks_read(
+        self, sim, storage, probe
+    ):
+        probe.send(STORAGE, ReplicaRead(object_id="obj", epoch_no=0, op_id=8))
+        probe.send(STORAGE, NewEpoch(epoch_no=2, cfg_no=1, plan=PLAN))
+        sim.run()
+        assert probe.read_replies == []
+        assert probe.nacks[0].op_id == 8
+        assert storage.reads_served == 0
+
 
 class TestSync:
     def test_sync_applies_newer_version(self, sim, storage, probe):
