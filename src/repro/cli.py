@@ -190,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="live runtime: end-to-end CI smoke (boot, load, reconfigure)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "livechaos",
+        help=(
+            "live runtime: crash-recovery gate (WAL-backed cluster, "
+            "kill -9 cycles under load, durability + linearizability)"
+        ),
+        add_help=False,
+    )
     return parser
 
 

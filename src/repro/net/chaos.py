@@ -1,0 +1,445 @@
+"""Live chaos harness: kill -9 / recover cycles under load, then verify.
+
+``python -m repro livechaos`` is the crash-recovery end-to-end gate:
+
+1. boot a WAL-backed localhost cluster (``spec.data_dir`` set, so every
+   replica journals to disk and recovers through the I6 quarantine);
+2. run a timed workload-A phase at W=4 while a seeded
+   :class:`~repro.net.nemesis.LiveNemesis` SIGKILLs and restarts storage
+   replicas, and the load generator's own TCP links are reset mid-phase;
+3. drive a live W=4 → W=2 reconfiguration and keep loading through more
+   kill cycles;
+4. run a quiescent read-back sweep over every object and compute the
+   *direct* durability verdict: an acknowledged write is lost if any
+   read invoked after its acknowledgement returned an older acknowledged
+   value (or the initial value) for that object;
+5. feed the full cross-phase history to the Wing-Gong linearizability
+   checker and scrape every restarted replica for
+   ``qopt_replica_recoveries_total`` — a restarted replica must have
+   completed at least one quarantined rejoin, i.e. it re-entered read
+   quorums only after the I6 epoch sync.
+
+Client operations MAY fail while a replica is down (a W=4 write during
+downtime can exhaust its deadline) — that is the fault model working,
+not a bug, so transient failures do not gate the run.  What gates it:
+lost acknowledged writes, consistency violations, an unverified or
+non-linearizable history, replicas that never recovered, failures during
+the quiescent read-back, and unclean worker exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.types import ObjectId, OpType
+from repro.net.cluster import LocalCluster
+from repro.net.loadgen import LoadGenerator, LoadgenResult
+from repro.net.nemesis import (
+    KillCycle,
+    LiveNemesis,
+    NemesisCycleResult,
+    RestartPolicy,
+    build_schedule,
+)
+from repro.net.smoke import _scrape_all
+from repro.net.spec import build_spec
+from repro.sds.client import OperationRecord
+from repro.workloads.base import Operation
+
+
+@dataclass
+class _ReadbackSource:
+    """Round-robin read-only sweep over a fixed object set.
+
+    Cycling (rather than sampling) guarantees every object is read at
+    least once per ``len(objects)`` issued operations, so a long-enough
+    sweep covers the whole keyspace deterministically.
+    """
+
+    objects: List[ObjectId]
+    _cursor: int = 0
+
+    def next_operation(self, rng: random.Random) -> Operation:
+        del rng
+        object_id = self.objects[self._cursor % len(self.objects)]
+        self._cursor += 1
+        return Operation(
+            object_id=object_id, op_type=OpType.READ, size=0, value=b""
+        )
+
+
+def count_lost_acked_writes(
+    history: List[OperationRecord],
+    readback: List[OperationRecord],
+) -> Tuple[int, List[str]]:
+    """The direct durability check: did any acknowledged write vanish?
+
+    For each object, the *last acknowledged* write is the completed
+    write record with the greatest ``completed_at``.  Every read-back
+    read was invoked after all write phases drained, so it must return
+    that value — or a *maybe-applied* one: a write that timed out at the
+    client (``completed_at = inf``) may legitimately land at any later
+    point, including after the last acknowledged write.  What it must
+    never return is an OLDER acknowledged value or the register's
+    initial value: both mean an acknowledged write was dropped.
+    """
+    acked_at: Dict[ObjectId, Dict[bytes, float]] = {}
+    maybe_applied: Dict[ObjectId, set] = {}
+    last: Dict[ObjectId, Tuple[float, bytes]] = {}
+    for op_record in history:
+        if op_record.op_type is not OpType.WRITE:
+            continue
+        value = op_record.value or b""
+        if math.isinf(op_record.completed_at):
+            maybe_applied.setdefault(op_record.object_id, set()).add(value)
+            continue
+        acked_at.setdefault(op_record.object_id, {})[value] = (
+            op_record.completed_at
+        )
+        previous = last.get(op_record.object_id)
+        if previous is None or op_record.completed_at > previous[0]:
+            last[op_record.object_id] = (op_record.completed_at, value)
+
+    lost = 0
+    details: List[str] = []
+    for op_record in readback:
+        if op_record.op_type is not OpType.READ:
+            continue
+        if math.isinf(op_record.completed_at):
+            continue
+        expected = last.get(op_record.object_id)
+        if expected is None:
+            continue  # object never had an acknowledged write
+        observed = op_record.value or b""
+        if observed == expected[1]:
+            continue
+        if observed in maybe_applied.get(op_record.object_id, ()):
+            continue  # a timed-out write landed late: legal
+        when = acked_at.get(op_record.object_id, {}).get(observed)
+        lost += 1
+        age = "initial/unknown" if when is None else f"acked at {when:.3f}"
+        details.append(
+            f"{op_record.object_id}: read returned {age} value instead of "
+            f"last acknowledged write (acked at {expected[0]:.3f})"
+        )
+    return lost, details
+
+
+def _metric_value(scrape: str, family: str) -> Optional[float]:
+    """Last sample of a family in a Prometheus text scrape, if present."""
+    value: Optional[float] = None
+    for line in scrape.splitlines():
+        if line.startswith(family) and not line.startswith("#"):
+            try:
+                value = float(line.rsplit(None, 1)[1])
+            except (IndexError, ValueError):
+                continue
+    return value
+
+
+@dataclass
+class ChaosReport:
+    """Everything the chaos run measured and verified."""
+
+    result: LoadgenResult
+    cycles: List[NemesisCycleResult]
+    schedule: List[KillCycle]
+    reconfig_seconds: Optional[float]
+    lost_acked_writes: int
+    lost_details: List[str]
+    transport_resets: int
+    exit_codes: Dict[str, int]
+    recoveries: Dict[str, float] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def recovery_stats(self) -> dict:
+        observed = [
+            c.recovery_seconds
+            for c in self.cycles
+            if c.recovery_seconds is not None
+        ]
+        return {
+            "cycles": len(self.cycles),
+            "recovered": len(observed),
+            "max_recovery_s": (
+                round(max(observed), 3) if observed else None
+            ),
+            "mean_recovery_s": (
+                round(sum(observed) / len(observed), 3) if observed else None
+            ),
+            "quarantine_observed": sum(
+                1 for c in self.cycles if c.quarantine_observed
+            ),
+        }
+
+    def ops_dip_ratio(self) -> Optional[float]:
+        """min/max ops/sec across the chaos load phases (1.0 = no dip)."""
+        rates = [
+            phase.ops_per_sec
+            for phase in self.result.phases
+            if phase.name != "readback" and phase.ops_per_sec > 0
+        ]
+        if len(rates) < 2:
+            return None
+        return round(min(rates) / max(rates), 3)
+
+    def as_dict(self) -> dict:
+        payload = self.result.as_dict()
+        # The chaos gate has its own verdict: transient client failures
+        # during downtime are tolerated, so override loadgen's ok/problems
+        # with ours instead of presenting two conflicting verdicts.
+        payload.update(
+            {
+                "kill_cycles": [cycle.as_dict() for cycle in self.cycles],
+                "recovery": self.recovery_stats(),
+                "recoveries_metric": {
+                    name: value
+                    for name, value in sorted(self.recoveries.items())
+                },
+                "lost_acked_writes": self.lost_acked_writes,
+                "lost_details": self.lost_details,
+                "transport_resets": self.transport_resets,
+                "ops_dip_ratio": self.ops_dip_ratio(),
+                "reconfig_seconds": (
+                    None
+                    if self.reconfig_seconds is None
+                    else round(self.reconfig_seconds, 3)
+                ),
+                "ok": self.ok,
+                "problems": self.problems,
+            }
+        )
+        return payload
+
+    def render(self) -> str:
+        lines = ["live-chaos:"]
+        for phase in self.result.phases:
+            lines.append(
+                f"  phase {phase.name}: {phase.operations} ops "
+                f"({phase.ops_per_sec:.0f}/s), {phase.failed} failed, "
+                f"{phase.retries} retries"
+            )
+        for cycle in self.cycles:
+            recovery = (
+                f"recovered in {cycle.recovery_seconds:.2f}s"
+                if cycle.recovery_seconds is not None
+                else "NEVER RECOVERED"
+            )
+            lines.append(
+                f"  kill {cycle.victim}: {cycle.restart_attempts} restart "
+                f"attempt(s), {recovery}"
+                + (" (quarantine observed)" if cycle.quarantine_observed
+                   else "")
+            )
+        lines.append(
+            f"  history: {self.result.history_records} records, "
+            f"{self.result.consistency_violations} violations, "
+            f"linearizable={self.result.linearizable}"
+        )
+        lines.append(
+            f"  lost acknowledged writes: {self.lost_acked_writes}"
+        )
+        dip = self.ops_dip_ratio()
+        if dip is not None:
+            lines.append(f"  ops/s dip ratio (min/max): {dip}")
+        if self.problems:
+            lines.append("  PROBLEMS:")
+            lines.extend(f"    - {problem}" for problem in self.problems)
+        else:
+            lines.append("  all checks passed")
+        return "\n".join(lines)
+
+
+async def _reset_links_midphase(
+    generator: LoadGenerator, after: float
+) -> int:
+    """Sever the load generator's live TCP links partway into a phase.
+
+    Exercises the client-side reconnect path under load: in-flight
+    frames are lost as a unit (at-most-once) and routes re-establish
+    with backoff while operations retry.
+    """
+    await asyncio.sleep(after)
+    transport = generator.transport
+    if transport is None:
+        return 0
+    transport.drop_connections()
+    return 1
+
+
+async def run_chaos(
+    replicas: int = 5,
+    proxies: int = 1,
+    cycles: int = 3,
+    duration: float = 6.0,
+    clients: int = 4,
+    workload: str = "a",
+    objects: int = 32,
+    seed: int = 1,
+    pipeline_depth: int = 4,
+    workdir: Optional[str] = None,
+) -> ChaosReport:
+    """Run the full kill/recover sequence; never leaves processes behind."""
+    workdir = workdir or tempfile.mkdtemp(prefix="qopt-chaos-")
+    spec = build_spec(
+        replicas=replicas,
+        proxies=proxies,
+        write_quorum=4,
+        seed=seed,
+        data_dir=os.path.join(workdir, "data"),
+    )
+    cluster = LocalCluster(spec, workdir=workdir)
+    schedule = build_schedule(cluster.spec, seed=seed, cycles=cycles)
+    # Front-load the churn: ceil(cycles/2) under W=4, the rest under W=2,
+    # so both quorum geometries see kills.
+    split = cycles - cycles // 2
+    policy = RestartPolicy()
+    problems: List[str] = []
+    transport_resets = 0
+    nemesis = LiveNemesis(cluster, [], policy=policy)
+    try:
+        cluster.start()
+        await cluster.wait_healthy()
+        generator = LoadGenerator(
+            cluster.spec,
+            clients=clients,
+            workload=workload,
+            objects=objects,
+            seed=seed,
+            pipeline_depth=pipeline_depth,
+        )
+        await generator.start()
+        try:
+            reconfig_seconds: Optional[float] = None
+            for position, (write_quorum, batch) in enumerate(
+                [(4, schedule[:split]), (2, schedule[split:])]
+            ):
+                if position > 0:
+                    reconfig_seconds = await generator.reconfigure(
+                        write_quorum
+                    )
+                nemesis.schedule = list(batch)
+                nemesis_task = asyncio.ensure_future(nemesis.run())
+                reset_task = asyncio.ensure_future(
+                    _reset_links_midphase(generator, after=duration / 2)
+                )
+                try:
+                    await generator.run_phase(
+                        name=f"W={write_quorum}",
+                        duration=duration,
+                        write_quorum=write_quorum,
+                    )
+                finally:
+                    # Let any cycle still mid-kill finish its restart in
+                    # quiescence before reconfiguring or reading back.
+                    await nemesis_task
+                    transport_resets += await reset_task
+            # Quiescent read-back sweep: every object, read-only, all
+            # replicas alive (the durability verdict needs a full pass).
+            before = len(generator.records)
+            sweep = _ReadbackSource(objects=generator.workload.object_ids())
+            readback_phase = await generator.run_phase(
+                name="readback",
+                duration=max(2.0, objects / 25.0),
+                write_quorum=2,
+                source=sweep,
+            )
+            readback = generator.records[before:]
+            scrapes = await _scrape_all(cluster.spec)
+            result = generator.result(reconfig_seconds)
+        finally:
+            await generator.stop()
+        dead = [worker.name for worker in cluster.dead_workers()]
+        restarted = {
+            worker.name: worker.restarts
+            for worker in cluster.restarted_workers()
+        }
+        exit_codes = await cluster.shutdown()
+    finally:
+        cluster.kill()
+
+    # -- verdicts ------------------------------------------------------------
+    lost, lost_details = count_lost_acked_writes(result.records, readback)
+    if lost:
+        problems.append(f"{lost} acknowledged writes lost")
+    problems.extend(nemesis.problems)
+    if len(nemesis.cycles) < cycles:
+        problems.append(
+            f"only {len(nemesis.cycles)} of {cycles} kill cycles ran"
+        )
+    if result.consistency_violations:
+        problems.append(
+            f"{result.consistency_violations} consistency violations"
+        )
+    if result.linearizable is None:
+        problems.append(
+            "linearizability unverified: search budget exceeded"
+        )
+    elif not result.linearizable:
+        problems.append("history is not linearizable")
+    for phase in result.phases:
+        if phase.operations == 0:
+            problems.append(f"phase {phase.name} completed zero operations")
+    if readback_phase.failed:
+        problems.append(
+            f"{readback_phase.failed} read-back operations failed with "
+            "every replica alive"
+        )
+    recoveries: Dict[str, float] = {}
+    for name in sorted(restarted):
+        value = _metric_value(
+            scrapes.get(name, ""), "qopt_replica_recoveries_total"
+        )
+        if value is not None:
+            recoveries[name] = value
+        if value is None or value < 1.0:
+            problems.append(
+                f"{name}: restarted {restarted[name]}x but "
+                "qopt_replica_recoveries_total < 1 — rejoined read "
+                "quorums without completing the I6 epoch sync"
+            )
+    if dead:
+        problems.append(f"workers dead at end of run: {dead}")
+    for name, code in exit_codes.items():
+        if code != 0:
+            problems.append(f"{name} exited with code {code}")
+
+    return ChaosReport(
+        result=result,
+        cycles=list(nemesis.cycles),
+        schedule=schedule,
+        reconfig_seconds=result.reconfig_seconds,
+        lost_acked_writes=lost,
+        lost_details=lost_details,
+        transport_resets=transport_resets,
+        exit_codes=exit_codes,
+        recoveries=recoveries,
+        problems=problems,
+    )
+
+
+def write_chaos_report(report: ChaosReport, path: str, extra: dict) -> None:
+    """Write ``BENCH_net_chaos.json``."""
+    payload = dict(extra)
+    payload.update(report.as_dict())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+__all__ = [
+    "ChaosReport",
+    "count_lost_acked_writes",
+    "run_chaos",
+    "write_chaos_report",
+]

@@ -6,7 +6,9 @@ Forwarded from ``python -m repro`` the same way qlint and bench are:
 * ``cluster``   — spawn a whole local cluster of ``serve`` processes;
 * ``loadgen``   — drive a live benchmark, write ``BENCH_net.json``;
 * ``livesmoke`` — the CI end-to-end gate (boot, load, reconfigure,
-  scrape, verify, shut down).
+  scrape, verify, shut down);
+* ``livechaos`` — the crash-recovery gate (WAL-backed cluster, seeded
+  kill -9 cycles under load, durability + linearizability verdicts).
 """
 
 from __future__ import annotations
@@ -210,9 +212,13 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
             print(f"BASELINE REGRESSION: {failure}")
         if not failures:
             print(f"baseline gate passed ({args.baseline})")
-    if result.total_failed or result.consistency_violations or failures:
-        return 1
-    return 0
+    # The exit code mirrors the report's ok field exactly, so CI cannot
+    # pass a run whose JSON says it failed (or whose linearizability
+    # check never finished).
+    problems = result.problems() + failures
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
 
 
 def cmd_livesmoke(argv: Sequence[str]) -> int:
@@ -254,11 +260,80 @@ def cmd_livesmoke(argv: Sequence[str]) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_livechaos(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro livechaos",
+        description=(
+            "Crash-recovery gate: WAL-backed cluster, seeded kill -9 / "
+            "restart cycles under load across a W=4 -> W=2 "
+            "reconfiguration, then a read-back durability sweep and a "
+            "full linearizability check."
+        ),
+    )
+    parser.add_argument("--replicas", type=int, default=5)
+    parser.add_argument("--proxies", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--workload", choices=("a", "b", "c"), default="a"
+    )
+    parser.add_argument("--objects", type=int, default=32)
+    parser.add_argument(
+        "--duration", type=float, default=6.0,
+        help="seconds of load per quorum phase (default 6)",
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=3,
+        help="kill -9 -> restart cycles across the run (default 3)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=4,
+        help="pipelined in-flight operations per client (default 4)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_net_chaos.json",
+        help="report path (default BENCH_net_chaos.json)",
+    )
+    args = parser.parse_args(list(argv))
+
+    from repro.net.chaos import run_chaos, write_chaos_report
+
+    report = asyncio.run(
+        run_chaos(
+            replicas=args.replicas,
+            proxies=args.proxies,
+            cycles=args.cycles,
+            duration=args.duration,
+            clients=args.clients,
+            workload=args.workload,
+            objects=args.objects,
+            seed=args.seed,
+            pipeline_depth=args.depth,
+        )
+    )
+    write_chaos_report(
+        report,
+        args.output,
+        extra={
+            "workload": args.workload,
+            "clients": args.clients,
+            "objects": args.objects,
+            "seed": args.seed,
+            "cycles": args.cycles,
+            "pipeline_depth": args.depth,
+        },
+    )
+    print(report.render())
+    print(f"report written to {args.output}")
+    return 0 if report.ok else 1
+
+
 NET_COMMANDS = {
     "serve": cmd_serve,
     "cluster": cmd_cluster,
     "loadgen": cmd_loadgen,
     "livesmoke": cmd_livesmoke,
+    "livechaos": cmd_livechaos,
 }
 
 

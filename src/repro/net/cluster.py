@@ -14,15 +14,17 @@ bounded wait, then ``terminate()``/``kill()`` for stragglers.
 
 from __future__ import annotations
 
+import asyncio
 import os
+import signal
 import socket
 import subprocess
 import sys
 import tempfile
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.net.httpd import http_get, wait_healthy
+from repro.net.httpd import http_get
 from repro.net.spec import ClusterSpec, NodeAddress
 
 
@@ -61,10 +63,14 @@ def allocate_ports(spec: ClusterSpec) -> ClusterSpec:
 
 @dataclass
 class NodeProcess:
-    """One spawned ``serve`` worker."""
+    """One spawned ``serve`` worker (survives restarts of its process)."""
 
     address: NodeAddress
     process: subprocess.Popen
+    #: Times the worker has been (re)spawned after its first start.
+    restarts: int = 0
+    #: Exit codes of previous incarnations, oldest first.
+    past_exits: List[int] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -95,6 +101,12 @@ class LocalCluster:
     def start(self) -> None:
         with open(self.spec_path, "w", encoding="utf-8") as handle:
             handle.write(self.spec.to_json() + "\n")
+        for address in self.spec.all_addresses():
+            self.workers.append(
+                NodeProcess(address, self._spawn(address.name))
+            )
+
+    def _spawn(self, node_name: str) -> subprocess.Popen:
         env = dict(os.environ)
         src_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -104,30 +116,93 @@ class LocalCluster:
             src_root if not existing
             else src_root + os.pathsep + existing
         )
-        for address in self.spec.all_addresses():
-            process = subprocess.Popen(
-                [
-                    self._python,
-                    "-m",
-                    "repro",
-                    "serve",
-                    "--spec",
-                    self.spec_path,
-                    "--node",
-                    address.name,
-                ],
-                env=env,
-            )
-            self.workers.append(NodeProcess(address, process))
+        return subprocess.Popen(
+            [
+                self._python,
+                "-m",
+                "repro",
+                "serve",
+                "--spec",
+                self.spec_path,
+                "--node",
+                node_name,
+            ],
+            env=env,
+        )
+
+    # -- supervision ---------------------------------------------------------
+
+    def worker(self, name: str) -> NodeProcess:
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise KeyError(f"no worker named {name!r}")
+
+    def kill_worker(self, name: str) -> NodeProcess:
+        """Fail-stop one worker with SIGKILL (no graceful shutdown)."""
+        worker = self.worker(name)
+        if worker.returncode is None:
+            worker.process.send_signal(signal.SIGKILL)
+            worker.process.wait()
+        return worker
+
+    def restart_worker(self, name: str) -> NodeProcess:
+        """Respawn a dead worker's process (same spec, same ports).
+
+        The worker must already have exited — restarting a live process
+        would orphan it.  The restarted replica recovers from its WAL
+        directory (when the spec has ``data_dir``) and rejoins
+        quarantined.
+        """
+        worker = self.worker(name)
+        code = worker.returncode
+        if code is None:
+            raise RuntimeError(f"worker {name} is still running")
+        worker.past_exits.append(code)
+        worker.process = self._spawn(name)
+        worker.restarts += 1
+        return worker
 
     async def wait_healthy(self, deadline: float = 20.0) -> None:
         # Snapshot: start() may append more workers while we await.
         for worker in list(self.workers):
-            await wait_healthy(
-                worker.address.host,
-                worker.address.http_port,
-                deadline=deadline,
-            )
+            await self.wait_worker_healthy(worker, deadline=deadline)
+
+    async def wait_worker_healthy(
+        self, worker: NodeProcess, deadline: float = 20.0
+    ) -> str:
+        """Poll one worker's ``/healthz``; fail fast if it already died.
+
+        Returns the healthz body.  A worker that exits while we poll
+        raises immediately instead of burning the whole deadline — a
+        crashed-on-boot replica (bad spec, corrupt WAL directory) should
+        fail the run in milliseconds, not after a timeout.
+        """
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + deadline
+        while True:
+            code = worker.returncode
+            if code is not None:
+                raise RuntimeError(
+                    f"worker {worker.name} exited with code {code} "
+                    "before becoming healthy"
+                )
+            try:
+                status, body = await http_get(
+                    worker.address.host,
+                    worker.address.http_port,
+                    "/healthz",
+                    timeout=2.0,
+                )
+                if status == 200:
+                    return body
+            except (OSError, asyncio.TimeoutError, ValueError, IndexError):
+                pass
+            if loop.time() >= give_up:
+                raise TimeoutError(
+                    f"worker {worker.name} not healthy in {deadline}s"
+                )
+            await asyncio.sleep(0.1)
 
     # -- shutdown ------------------------------------------------------------
 
@@ -169,14 +244,55 @@ class LocalCluster:
     def dead_workers(self) -> List[NodeProcess]:
         return [w for w in self.workers if w.returncode is not None]
 
+    def restarted_workers(self) -> List[NodeProcess]:
+        return [w for w in self.workers if w.restarts > 0]
+
+    async def health(self) -> Dict[str, dict]:
+        """The cluster ``/healthz`` aggregate: one entry per worker.
+
+        Combines process-level liveness (poll) with each live worker's
+        own ``/healthz`` body, so dead workers show up as
+        ``alive=False`` instead of a scrape timeout.
+        """
+        report: Dict[str, dict] = {}
+        for worker in list(self.workers):
+            entry: dict = {
+                "alive": worker.returncode is None,
+                "returncode": worker.returncode,
+                "restarts": worker.restarts,
+                "healthz": None,
+            }
+            if entry["alive"]:
+                try:
+                    status, body = await http_get(
+                        worker.address.host,
+                        worker.address.http_port,
+                        "/healthz",
+                        timeout=2.0,
+                    )
+                    if status == 200:
+                        entry["healthz"] = body.strip()
+                except (
+                    OSError, asyncio.TimeoutError, ValueError, IndexError
+                ):
+                    pass
+            report[worker.name] = entry
+        return report
+
     def describe(self) -> str:
         lines = [f"cluster spec: {self.spec_path}"]
         for worker in self.workers:
             address = worker.address
+            code = worker.returncode
+            status = f"pid {worker.process.pid}" if code is None else (
+                f"DEAD exit={code}"
+            )
+            if worker.restarts:
+                status += f" restarts={worker.restarts}"
             lines.append(
                 f"  {address.name:12s} transport {address.host}:{address.port}"
                 f"  http {address.host}:{address.http_port}"
-                f"  pid {worker.process.pid}"
+                f"  {status}"
             )
         return "\n".join(lines)
 

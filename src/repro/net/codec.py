@@ -126,6 +126,9 @@ WIRE_TYPES: Tuple[type, ...] = (
     messages.FineRec,
     messages.CoarseRec,
     messages.AckRec,
+    # Storage <-> storage recovery (appended: codes are positional).
+    messages.SyncRequest,
+    messages.SyncReply,
 )
 
 _CODE_BY_TYPE = {cls: code for code, cls in enumerate(WIRE_TYPES)}

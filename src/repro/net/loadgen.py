@@ -93,7 +93,39 @@ class LoadgenResult:
     def total_failed(self) -> int:
         return sum(phase.failed for phase in self.phases)
 
+    def problems(self) -> List[str]:
+        """Everything that must fail the run, as human-readable strings.
+
+        This is the single source of truth for the CLI exit code and the
+        ``ok`` field of the JSON report, so a failed run can never look
+        green to CI.  ``linearizable=None`` (search budget exceeded) is a
+        problem: "not refuted" is not "verified", and a gate that passes
+        on it would silently stop checking as histories grow.
+        """
+        problems: List[str] = []
+        if self.total_failed:
+            problems.append(
+                f"{self.total_failed} client operations failed"
+            )
+        if self.consistency_violations:
+            problems.append(
+                f"{self.consistency_violations} consistency violations"
+            )
+        if self.linearizable is None:
+            problems.append(
+                "linearizability unverified: search budget exceeded"
+            )
+        elif not self.linearizable:
+            problems.append("history is not linearizable")
+        for phase in self.phases:
+            if phase.operations == 0:
+                problems.append(
+                    f"phase {phase.name} completed zero operations"
+                )
+        return problems
+
     def as_dict(self) -> dict:
+        problems = self.problems()
         return {
             "phases": [phase.as_dict() for phase in self.phases],
             "reconfig_seconds": (
@@ -104,6 +136,8 @@ class LoadgenResult:
             "history_records": self.history_records,
             "consistency_violations": self.consistency_violations,
             "linearizable": self.linearizable,
+            "ok": not problems,
+            "problems": problems,
         }
 
 
@@ -165,6 +199,11 @@ class LoadGenerator:
         #: Per-phase latency samples, collected via the per-phase logs.
         self._phases: List[PhaseResult] = []
 
+    @property
+    def workload(self) -> Workload:
+        """The underlying workload (custom sweeps reuse its object set)."""
+        return self._workload
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
@@ -195,8 +234,14 @@ class LoadGenerator:
         duration: float,
         write_quorum: int,
         settle: float = 0.2,
+        source: Optional[OperationSource] = None,
     ) -> PhaseResult:
-        """Run one timed phase with a fresh client fleet."""
+        """Run one timed phase with a fresh client fleet.
+
+        ``source`` overrides the generator's workload for this phase
+        (the chaos harness uses it for a read-only verification sweep);
+        records still join the same cross-phase history.
+        """
         assert self.kernel is not None and self.transport is not None
         kernel = self.kernel
         log = OperationLog()
@@ -206,7 +251,8 @@ class LoadGenerator:
             phase_records.append(op_record)
 
         source = _PhaseTaggedSource(
-            inner=self._workload, tag=f"{name}|".encode("utf-8")
+            inner=source if source is not None else self._workload,
+            tag=f"{name}|".encode("utf-8"),
         )
         proxies = self.spec.proxy_ids()
         fleet: List[ClientNode] = []

@@ -16,7 +16,8 @@ spec's seed even though event *timing* is now the hardware's.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Tuple, Union
+import os
+from typing import Dict, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import substream
@@ -28,6 +29,7 @@ from repro.net.tcp import TcpTransport
 from repro.obs.context import Observability
 from repro.obs.exporters import to_prometheus_text
 from repro.reconfig.manager import ReconfigurationManager
+from repro.sds.persistence import WalBackend
 from repro.sds.proxy import ProxyNode
 from repro.sds.storage import StorageNode
 
@@ -69,6 +71,9 @@ class NodeRuntime:
             listen_port=self.address.port,
             rng=substream(spec.seed, "net", str(self.node_id)),
         )
+        #: Durable storage backend, if this process hosts a WAL-backed
+        #: replica (``spec.data_dir`` set); closed on shutdown.
+        self.backend: Optional[WalBackend] = None
         self.node: LiveNode = self._build_node()
         self._shutdown = asyncio.Event()
         self.http = MiniHttpServer(
@@ -84,6 +89,10 @@ class NodeRuntime:
         kind = self.node_id.kind
         plan = spec.initial_plan()
         if kind == NodeKind.STORAGE.value:
+            if spec.data_dir:
+                self.backend = WalBackend(
+                    os.path.join(spec.data_dir, self.address.name)
+                )
             return StorageNode(
                 self.kernel,
                 self.transport,
@@ -93,6 +102,7 @@ class NodeRuntime:
                 rng=substream(spec.seed, "storage", self.node_id.index),
                 ring=spec.ring(),
                 obs=self.obs,
+                backend=self.backend,
             )
         if kind == NodeKind.PROXY.value:
             return ProxyNode(
@@ -134,6 +144,8 @@ class NodeRuntime:
         self.node.crash()  # fail-stop: kill the receive loop and children
         await self.http.stop()
         await self.transport.stop()
+        if self.backend is not None:
+            self.backend.close()  # final fsync of batched WAL appends
 
     def request_shutdown(self) -> None:
         self._shutdown.set()
@@ -185,11 +197,52 @@ class NodeRuntime:
             "qopt_kernel_crashes_total",
             help="unhandled process crashes", node=node,
         ).set(float(len(self.kernel.crashes)))
+        node_obj = self.node
+        if isinstance(node_obj, StorageNode):
+            registry.gauge(
+                "qopt_replica_quarantined",
+                help="1 while read-excluded pending I6 catch-up", node=node,
+            ).set(1.0 if node_obj.quarantined else 0.0)
+            registry.gauge(
+                "qopt_replica_recoveries_total",
+                help="quarantined rejoins completed", node=node,
+            ).set(float(node_obj.recoveries_completed))
+            registry.gauge(
+                "qopt_replica_reads_declined",
+                help="reads refused while quarantined", node=node,
+            ).set(float(node_obj.reads_declined))
+        backend = self.backend
+        if backend is not None:
+            registry.gauge(
+                "qopt_wal_records_total",
+                help="WAL records appended since boot", node=node,
+            ).set(float(backend.records_appended))
+            registry.gauge(
+                "qopt_wal_fsyncs_total",
+                help="batched WAL fsyncs", node=node,
+            ).set(float(backend.fsyncs))
+            registry.gauge(
+                "qopt_wal_snapshots_total",
+                help="snapshot+truncate cycles", node=node,
+            ).set(float(backend.snapshots_taken))
+            registry.gauge(
+                "qopt_wal_records_replayed",
+                help="records replayed at last boot", node=node,
+            ).set(float(backend.records_replayed))
 
     async def _handle_healthz(
         self, query: Dict[str, str]
     ) -> Tuple[int, str, str]:
         del query
+        node = self.node
+        if isinstance(node, StorageNode):
+            # The quarantine flag is what the nemesis (and operators)
+            # poll to see a restarted replica finish its I6 catch-up.
+            return 200, "text/plain", (
+                f"ok {self.node_id}"
+                f" quarantined={str(node.quarantined).lower()}"
+                f" epoch={node.epoch_no} cfg={node.cfg_no}\n"
+            )
         return 200, "text/plain", f"ok {self.node_id}\n"
 
     async def _handle_shutdown(

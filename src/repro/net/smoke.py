@@ -128,6 +128,9 @@ async def run_smoke(
             result = generator.result(None)
         finally:
             await generator.stop()
+        # Snapshot before shutdown: a worker that died mid-run must be
+        # reported as such, not folded into the graceful exit codes.
+        dead_workers = [worker.name for worker in cluster.dead_workers()]
         exit_codes = await cluster.shutdown()
     finally:
         cluster.kill()
@@ -148,6 +151,8 @@ async def run_smoke(
         for family in REQUIRED_METRICS:
             if family not in body:
                 problems.append(f"{name}: /metrics missing {family}")
+    for name in dead_workers:
+        problems.append(f"{name} died during the run")
     for name, code in exit_codes.items():
         if code != 0:
             problems.append(f"{name} exited with code {code}")

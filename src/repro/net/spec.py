@@ -58,6 +58,11 @@ class ClusterSpec:
     replication_degree: int = 5
     initial_write_quorum: int = 3
     seed: int = 0
+    #: Root of per-replica durable state (``<data_dir>/<node-name>/``).
+    #: ``None`` keeps replicas on the in-memory backend — the default, so
+    #: existing smoke/bench flows are untouched; the chaos harness sets
+    #: it to give every storage node a crash-recoverable WAL.
+    data_dir: Optional[str] = None
     version: int = SPEC_VERSION
     storage: StorageConfig = field(default_factory=lambda: live_storage_config())
     proxy: ProxyConfig = field(default_factory=lambda: live_proxy_config())
@@ -134,6 +139,7 @@ class ClusterSpec:
                 "replication_degree": self.replication_degree,
                 "initial_write_quorum": self.initial_write_quorum,
                 "seed": self.seed,
+                "data_dir": self.data_dir,
                 "replicas": [addr(a) for a in self.replicas],
                 "proxies": [addr(a) for a in self.proxies],
                 "manager": addr(self.manager),
@@ -168,6 +174,7 @@ class ClusterSpec:
             replication_degree=int(raw["replication_degree"]),
             initial_write_quorum=int(raw["initial_write_quorum"]),
             seed=int(raw["seed"]),
+            data_dir=raw.get("data_dir"),
             storage=StorageConfig(**raw["storage"]),
             proxy=ProxyConfig(**raw["proxy"]),
             client=ClientConfig(**raw["client"]),
@@ -231,6 +238,7 @@ def build_spec(
     host: str = "127.0.0.1",
     base_port: int = 0,
     seed: int = 0,
+    data_dir: Optional[str] = None,
 ) -> ClusterSpec:
     """Construct a spec for a local cluster.
 
@@ -280,6 +288,7 @@ def build_spec(
         replication_degree=degree,
         initial_write_quorum=write_quorum,
         seed=seed,
+        data_dir=data_dir,
     ).validate()
 
 

@@ -106,7 +106,20 @@ class _PeerLink:
         self._wakeup = asyncio.Event()
         self._closed = False
         self.reconnects = 0
+        self._writer: Optional[asyncio.StreamWriter] = None
         self._task = transport._kernel._loop.create_task(self._run())
+
+    def reset(self) -> None:
+        """Abruptly drop the live connection (fault injection).
+
+        The batch in flight (if any) is lost as a unit — exactly the
+        at-most-once contract a real RST gives — and the run loop
+        reconnects with the usual backoff.  Frames still queued were
+        never written and simply ride the next connection.
+        """
+        writer = self._writer
+        if writer is not None and not writer.is_closing():
+            writer.close()
 
     def enqueue(self, frame: bytes) -> None:
         if self._closed:
@@ -141,6 +154,7 @@ class _PeerLink:
                 backoff = min(self._transport.reconnect_cap, backoff * 2)
                 continue
             backoff = self._transport.reconnect_base
+            self._writer = writer
             loop = self._transport._kernel._loop
             # The peer may address frames back at us over this same
             # connection (replies to loadgen clients), so always read it.
@@ -163,6 +177,7 @@ class _PeerLink:
                     read_task, pump_task, return_exceptions=True
                 )
                 writer.close()
+                self._writer = None
             if not self._closed:
                 self.reconnects += 1
         return None
@@ -279,6 +294,8 @@ class TcpTransport:
         # batch size actually achieved on the wire.
         self.flushes = 0
         self.frames_flushed = 0
+        # Fault injection: times drop_connections() reset live links.
+        self.connection_resets = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -322,6 +339,21 @@ class TcpTransport:
         for writer in list(self._routes.values()):
             writer.close()
         self._routes.clear()
+
+    def drop_connections(self) -> None:
+        """Sever every live connection without stopping the transport.
+
+        The nemesis's "connection reset" fault: peer links lose their
+        in-flight batch as a unit and reconnect with backoff; inbound
+        connections (and the learned return routes riding them) are hung
+        up, so remote clients re-establish on their next send.  Nothing
+        is duplicated or re-queued — at-most-once is preserved.
+        """
+        self.connection_resets += 1
+        for link in self._peers.values():
+            link.reset()
+        for writer in list(self._inbound):
+            writer.close()
 
     # -- Transport surface ---------------------------------------------------
 

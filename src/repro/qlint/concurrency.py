@@ -76,7 +76,13 @@ _MUTATORS = frozenset(
 #: Identifier tokens that mark protocol-configuration state (QC003).
 #: Deliberately narrow: ``epoch``/``cfg``/``plan``/``ring`` are the
 #: fenced quantities in Q-OPT; ``config`` (tuning knobs) is not.
-_PROTOCOL_TOKENS = frozenset({"epoch", "cfg", "plan", "ring"})
+#: ``recovering``/``quarantined`` joined with the I6 rejoin protocol: a
+#: recovery coroutine that captures the quarantine flag (or a sync-reply
+#: tally) across a suspension can mis-admit a replica to read quorums,
+#: exactly the stale-capture shape QC003 exists to catch.
+_PROTOCOL_TOKENS = frozenset(
+    {"epoch", "cfg", "plan", "ring", "recovering", "quarantined"}
+)
 
 #: QC003 form (b) only tracks the fenced counters themselves.
 _FENCE_TOKENS = frozenset({"epoch", "cfg"})

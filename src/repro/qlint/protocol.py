@@ -81,6 +81,8 @@ WIRE_REGISTRY_GOLDEN: Tuple[str, ...] = (
     "FineRec",
     "CoarseRec",
     "AckRec",
+    "SyncRequest",
+    "SyncReply",
 )
 
 #: Variable names (final dotted segment) accepted as the replication

@@ -155,6 +155,43 @@ class EpochNack:
 
 
 # --------------------------------------------------------------------------
+# Storage <-> storage: quarantined-rejoin catch-up (invariant I6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """[SYNCREQ, replica, epNo]: a recovering replica asks for state.
+
+    Sent by a replica that restarted from its WAL and is quarantined
+    (read-excluded): it needs the current epoch, configuration and any
+    versions its torn WAL tail may have lost.  ``epoch_no`` is the
+    sender's recovered epoch, so the peer can see how far behind it is.
+    """
+
+    replica: NodeId
+    epoch_no: int
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """[SYNCREP, replica, epNo, cfNo, plan, versions]: catch-up state.
+
+    A live peer's full view: its committed epoch/configuration (the
+    Section 5.3 fence state) plus every version it stores.  The
+    recovering replica merges versions freshest-first and leaves
+    quarantine only after replies from a read quorum's worth of peers
+    at the newest epoch it has seen (invariant I6).
+    """
+
+    replica: NodeId
+    epoch_no: int
+    cfg_no: int
+    plan: QuorumPlan
+    versions: Mapping[ObjectId, Version]
+
+
+# --------------------------------------------------------------------------
 # Reconfiguration Manager <-> Proxy (Algorithms 2, 3)
 # --------------------------------------------------------------------------
 

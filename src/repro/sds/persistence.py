@@ -1,0 +1,291 @@
+"""Pluggable persistence for storage nodes: memory or an on-disk WAL.
+
+The simulator prices durability in *modelled* seconds (the disk queue in
+:mod:`repro.sds.storage`), so its backend is a plain dict — byte-for-byte
+the behaviour the determinism tripwire pins.  The live runtime pays for
+durability in real syscalls instead: :class:`WalBackend` gives each
+``repro serve`` replica a crash-recoverable store built from two files,
+
+* ``wal.bin``      — an append-only log of CRC-framed records, one per
+  applied write (and one per adopted epoch), reusing the deterministic
+  :mod:`repro.net.codec` value encoding for the record bodies;
+* ``snapshot.bin`` — a full CRC-framed dump of the version table, written
+  atomically (tmp + ``os.replace``) whenever the WAL grows past
+  ``snapshot_bytes``, after which the WAL is truncated.
+
+Recovery replays snapshot then WAL, tolerating a torn tail: the first
+record whose length or CRC does not check out ends the replay and is
+truncated away (a ``kill -9`` mid-append loses at most the unsynced
+suffix — the quarantined-rejoin protocol re-fetches anything lost from a
+read quorum of peers before the replica serves reads again, invariant I6
+in ``docs/PROTOCOL.md``).
+
+fsync policy: appends are batched — the file is flushed and fsynced once
+every ``fsync_batch`` records, on snapshot, and on close; the storage
+node's periodic flush loop bounds how long an acked write can sit in the
+OS page cache.  Durability of an *acknowledged* write is therefore a
+cluster property (it lives on W replicas), not a per-replica one,
+matching the paper's deployment assumptions.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ObjectId, Version
+from repro.net.codec import CodecError, decode_value, encode_value
+from repro.sds.quorum import QuorumPlan
+
+#: Bytes of framing per record: 4-byte length + 4-byte CRC32 of the body.
+_RECORD_HEADER = 8
+#: Refuse to parse absurd record lengths (corrupt header).
+_MAX_RECORD = 64 * 1024 * 1024
+
+_SNAPSHOT_NAME = "snapshot.bin"
+_WAL_NAME = "wal.bin"
+
+
+def _frame(body: bytes) -> bytes:
+    return (
+        len(body).to_bytes(4, "big")
+        + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "big")
+        + body
+    )
+
+
+def _read_records(data: bytes) -> Tuple[list, int]:
+    """Parse CRC-framed records; returns ``(records, valid_bytes)``.
+
+    Stops at the first torn or corrupt record — everything before it is
+    intact (CRC-checked), everything after it is unreachable anyway
+    because records are parsed sequentially.
+    """
+    records = []
+    offset = 0
+    total = len(data)
+    while total - offset >= _RECORD_HEADER:
+        length = int.from_bytes(data[offset:offset + 4], "big")
+        if length > _MAX_RECORD:
+            break
+        end = offset + _RECORD_HEADER + length
+        if end > total:
+            break
+        crc = int.from_bytes(data[offset + 4:offset + 8], "big")
+        body = data[offset + _RECORD_HEADER:end]
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            break
+        try:
+            records.append(decode_value(body))
+        except CodecError:
+            break
+        offset = end
+    return records, offset
+
+
+class MemoryBackend:
+    """The simulator's store: a dict, nothing else.
+
+    The storage node reads through :attr:`versions` directly (identical
+    code path to the pre-seam implementation) and routes mutations
+    through :meth:`put` / :meth:`set_epoch`, which for this backend are
+    plain dict stores — the sim stays byte-for-byte deterministic.
+    """
+
+    durable = False
+
+    def __init__(self) -> None:
+        self.versions: Dict[ObjectId, Version] = {}
+        self.recovered = False
+
+    def put(self, object_id: ObjectId, version: Version) -> None:
+        self.versions[object_id] = version
+
+    def set_epoch(
+        self, epoch_no: int, cfg_no: int, plan: Optional[QuorumPlan] = None
+    ) -> None:
+        pass
+
+    def recovered_state(self) -> Tuple[int, int, Optional[QuorumPlan]]:
+        return (0, 0, None)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class WalBackend:
+    """File-backed store: snapshot + append-only CRC-framed WAL."""
+
+    durable = True
+
+    def __init__(
+        self,
+        directory: str,
+        fsync_batch: int = 64,
+        snapshot_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if fsync_batch < 1:
+            raise ConfigurationError("fsync_batch must be >= 1")
+        self.directory = directory
+        self.fsync_batch = fsync_batch
+        self.snapshot_bytes = snapshot_bytes
+        os.makedirs(directory, exist_ok=True)
+        self.snapshot_path = os.path.join(directory, _SNAPSHOT_NAME)
+        self.wal_path = os.path.join(directory, _WAL_NAME)
+        #: Whether prior on-disk state existed — a restart, not a first
+        #: boot.  Drives the quarantined-rejoin path in the storage node.
+        self.recovered = os.path.exists(self.snapshot_path) or os.path.exists(
+            self.wal_path
+        )
+        self.versions: Dict[ObjectId, Version] = {}
+        self._epoch_no = 0
+        self._cfg_no = 0
+        self._plan: Optional[QuorumPlan] = None
+        # Observability counters.
+        self.records_replayed = 0
+        self.records_truncated = 0
+        self.records_appended = 0
+        self.snapshots_taken = 0
+        self.fsyncs = 0
+        self._load()
+        self._wal = open(self.wal_path, "ab")
+        self._pending = 0
+        self._closed = False
+
+    # -- recovery ------------------------------------------------------------
+
+    def _load(self) -> None:
+        if os.path.exists(self.snapshot_path):
+            with open(self.snapshot_path, "rb") as handle:
+                records, _valid = _read_records(handle.read())
+            # A snapshot is exactly one record; a torn snapshot (crashed
+            # before the atomic replace — impossible — or disk rot) is
+            # ignored: the WAL since the *previous* snapshot was already
+            # truncated, so state is rebuilt by the rejoin sync instead.
+            if records:
+                tag, epoch_no, cfg_no, plan, versions = records[0]
+                assert tag == "snapshot"
+                self._epoch_no = int(epoch_no)
+                self._cfg_no = int(cfg_no)
+                self._plan = plan
+                self.versions.update(versions)
+        if not os.path.exists(self.wal_path):
+            return
+        with open(self.wal_path, "rb") as handle:
+            data = handle.read()
+        records, valid = _read_records(data)
+        for record in records:
+            self.records_replayed += 1
+            if record[0] == "put":
+                _tag, object_id, version = record
+                self.versions[object_id] = version
+            elif record[0] == "epoch":
+                _tag, epoch_no, cfg_no, plan = record
+                self._epoch_no = int(epoch_no)
+                self._cfg_no = int(cfg_no)
+                self._plan = plan
+        if valid < len(data):
+            # Torn tail from a crash mid-append: cut it off so the next
+            # append does not splice new records after garbage.
+            self.records_truncated += 1
+            with open(self.wal_path, "r+b") as handle:
+                handle.truncate(valid)
+
+    def recovered_state(self) -> Tuple[int, int, Optional[QuorumPlan]]:
+        """Epoch/cfg/plan as of the last durable record (ZERO if fresh)."""
+        return (self._epoch_no, self._cfg_no, self._plan)
+
+    # -- mutation ------------------------------------------------------------
+
+    def put(self, object_id: ObjectId, version: Version) -> None:
+        self.versions[object_id] = version
+        self._append(("put", object_id, version))
+
+    def set_epoch(
+        self, epoch_no: int, cfg_no: int, plan: Optional[QuorumPlan] = None
+    ) -> None:
+        self._epoch_no = epoch_no
+        self._cfg_no = cfg_no
+        self._plan = plan
+        self._append(("epoch", epoch_no, cfg_no, plan))
+
+    def _append(self, record: tuple) -> None:
+        if self._closed:
+            return
+        self._wal.write(_frame(encode_value(record)))
+        self.records_appended += 1
+        self._pending += 1
+        if self._pending >= self.fsync_batch:
+            self.flush()
+        if self._wal.tell() >= self.snapshot_bytes:
+            self.snapshot()
+
+    def flush(self) -> None:
+        """Batched durability point: flush + fsync the WAL file."""
+        if self._closed or self._pending == 0:
+            return
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self.fsyncs += 1
+        self._pending = 0
+
+    def snapshot(self) -> None:
+        """Dump the full version table atomically, then truncate the WAL.
+
+        Ordering matters: the snapshot must be durable (fsynced and
+        atomically in place) *before* the WAL records it subsumes are
+        discarded, or a crash between the two loses acknowledged writes.
+        """
+        if self._closed:
+            return
+        body = encode_value(
+            (
+                "snapshot",
+                self._epoch_no,
+                self._cfg_no,
+                self._plan,
+                dict(self.versions),
+            )
+        )
+        tmp_path = self.snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(_frame(body))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self._wal.truncate(0)
+        self._wal.seek(0)
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        self._pending = 0
+        self.snapshots_taken += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._wal.close()
+
+    # -- introspection (tests, metrics) --------------------------------------
+
+    def wal_records(self) -> Iterator[tuple]:
+        """Decode every intact record currently in the WAL file."""
+        self._wal.flush()
+        with open(self.wal_path, "rb") as handle:
+            records, _valid = _read_records(handle.read())
+        return iter(records)
+
+
+#: What the storage node accepts as a backend.  A closed union rather
+#: than a Protocol: both implementations live in this module, and the
+#: union keeps mypy checking every call site against both concretely.
+StorageBackend = Union[MemoryBackend, WalBackend]
+
+
+__all__ = ["MemoryBackend", "WalBackend", "StorageBackend"]

@@ -31,8 +31,11 @@ from repro.sds.messages import (
     ReplicaSync,
     ReplicaWrite,
     ReplicaWriteReply,
+    SyncReply,
+    SyncRequest,
 )
 from repro.net.transport import Transport
+from repro.sds.persistence import MemoryBackend, StorageBackend
 from repro.sds.quorum import QuorumPlan
 from repro.sds.ring import PlacementRing
 from repro.sim.kernel import Simulator
@@ -42,6 +45,14 @@ from repro.sim.primitives import Resource
 
 #: Wire overhead of a request/reply beyond the object payload, bytes.
 _HEADER_BYTES = 256
+
+#: How often a durable backend's batched appends are fsynced, seconds.
+#: Only the live runtime spawns the flush loop, so this is wall time.
+_WAL_FLUSH_INTERVAL = 0.05
+
+#: How often a quarantined replica retransmits SYNCREQ to peers that
+#: have not answered yet, seconds.
+_SYNC_RETRY_INTERVAL = 0.25
 
 
 class StorageNode(Node):
@@ -57,13 +68,21 @@ class StorageNode(Node):
         rng: random.Random,
         ring: Optional[PlacementRing] = None,
         obs: Optional[Observability] = None,
+        backend: Optional[StorageBackend] = None,
     ) -> None:
         super().__init__(sim, network, node_id)
         self._config = config.validate()
         self._rng = rng
         self._ring = ring
         self._obs = obs
-        self._versions: dict[ObjectId, Version] = {}
+        # Persistence seam: the backend owns the version table; reads go
+        # through the shared dict (identical code path to the pre-seam
+        # in-memory store), mutations through ``backend.put`` so a WAL
+        # backend can journal them.  The sim always gets MemoryBackend.
+        self._backend: StorageBackend = (
+            backend if backend is not None else MemoryBackend()
+        )
+        self._versions: dict[ObjectId, Version] = self._backend.versions
         self._disk = Resource(
             sim, concurrency=config.concurrency, name=f"{node_id}.disk"
         )
@@ -74,6 +93,23 @@ class StorageNode(Node):
         # Anti-entropy: objects written locally since the last cycle.
         self._dirty: set[ObjectId] = set()
         self._replicator_started = False
+        self._flush_started = False
+        self._recovery_started = False
+        # Quarantined rejoin (invariant I6): a replica restarting from
+        # durable state may have lost a torn WAL tail, so it must not
+        # contribute to read quorums until it has merged the state of a
+        # read quorum of live peers at the current epoch.  It keeps
+        # acking writes meanwhile (they only make it fresher).
+        self._recovering = False
+        #: peer -> epoch it answered our SYNCREQ with.
+        self._sync_replies: dict[NodeId, int] = {}
+        if self._backend.recovered and self._ring is not None:
+            epoch_no, cfg_no, plan = self._backend.recovered_state()
+            self._epoch_no = epoch_no
+            self._cfg_no = cfg_no
+            if plan is not None:
+                self._plan = plan
+            self._recovering = True
         # Observability counters.
         self.reads_served = 0
         self.writes_served = 0
@@ -81,11 +117,18 @@ class StorageNode(Node):
         self.nacks_sent = 0
         self.syncs_sent = 0
         self.syncs_applied = 0
+        self.reads_declined = 0
+        self.sync_requests_sent = 0
+        self.sync_requests_served = 0
+        self.sync_versions_applied = 0
+        self.recoveries_completed = 0
 
         self.register_handler(ReplicaRead, self._on_read)
         self.register_handler(ReplicaWrite, self._on_write)
         self.register_handler(ReplicaSync, self._on_sync)
         self.register_handler(NewEpoch, self._on_new_epoch)
+        self.register_handler(SyncRequest, self._on_sync_request)
+        self.register_handler(SyncReply, self._on_sync_reply)
 
     def start(self) -> None:
         super().start()
@@ -97,6 +140,16 @@ class StorageNode(Node):
             self._replicator_started = True
             self.spawn(
                 self._replicator_loop(), name=f"{self.node_id}.replicator"
+            )
+        if self._backend.durable and not self._flush_started:
+            self._flush_started = True
+            self.spawn(
+                self._wal_flush_loop(), name=f"{self.node_id}.walflush"
+            )
+        if self._recovering and not self._recovery_started:
+            self._recovery_started = True
+            self.spawn(
+                self._recovery_loop(), name=f"{self.node_id}.recovery"
             )
 
     # -- protocol state (read-only views for tests) ---------------------------
@@ -112,6 +165,15 @@ class StorageNode(Node):
     @property
     def disk(self) -> Resource:
         return self._disk
+
+    @property
+    def quarantined(self) -> bool:
+        """True while the replica is read-excluded (invariant I6)."""
+        return self._recovering
+
+    @property
+    def persistence(self) -> StorageBackend:
+        return self._backend
 
     def version_of(self, object_id: ObjectId) -> Version:
         """Current stored version (ZERO-stamped if never written)."""
@@ -131,6 +193,9 @@ class StorageNode(Node):
             self._epoch_no = message.epoch_no
             self._cfg_no = message.cfg_no
             self._plan = message.plan
+            self._backend.set_epoch(
+                message.epoch_no, message.cfg_no, message.plan
+            )
             self.send(
                 envelope.sender,
                 AckNewEpoch(epoch_no=message.epoch_no, replica=self.node_id),
@@ -139,6 +204,15 @@ class StorageNode(Node):
 
     def _on_read(self, envelope: Envelope) -> Iterator:
         message: ReplicaRead = envelope.payload
+        if self._recovering:
+            # Invariant I6: a quarantined replica must not contribute to
+            # read quorums — its recovered state may miss writes it (or
+            # peers) acknowledged before the crash.  Silence, not a NACK:
+            # a NACK would carry a *stale* epoch and send the proxy into
+            # a pointless adopt/retry spin, whereas the proxy's fallback
+            # fan-out simply gathers the quorum from live peers.
+            self.reads_declined += 1
+            return
         if message.epoch_no < self._epoch_no:
             self._nack(envelope.sender, message.op_id, envelope.trace)
             return
@@ -218,11 +292,14 @@ class StorageNode(Node):
         # that is the read-repair write-back refreshing the version's
         # cfg_no under a newer configuration (Algorithm 4 line 27).
         if current is None or message.stamp >= current.stamp:
-            self._versions[message.object_id] = Version(
-                value=message.value,
-                stamp=message.stamp,
-                cfg_no=message.cfg_no,
-                size=message.size,
+            self._backend.put(
+                message.object_id,
+                Version(
+                    value=message.value,
+                    stamp=message.stamp,
+                    cfg_no=message.cfg_no,
+                    size=message.size,
+                ),
             )
             self._dirty.add(message.object_id)
             self.writes_served += 1
@@ -292,8 +369,124 @@ class StorageNode(Node):
         # sync waited for the disk.
         current = self._versions.get(message.object_id)
         if current is None or message.version.stamp > current.stamp:
-            self._versions[message.object_id] = message.version
+            self._backend.put(message.object_id, message.version)
             self.syncs_applied += 1
+
+    # -- crash recovery: quarantined rejoin (invariant I6) ---------------------
+
+    def _recovery_peers(self) -> list[NodeId]:
+        """Every other storage node, in deterministic (sorted) order."""
+        if self._ring is None:
+            return []
+        return sorted(
+            peer for peer in self._ring.nodes if peer != self.node_id
+        )
+
+    def _recovery_loop(self) -> Iterator:
+        """Drive the catch-up sync until the quarantine can be lifted.
+
+        Retransmits SYNCREQ to every peer that has not answered yet.
+        Each iteration re-reads ``self._epoch_no``: an epoch adopted
+        between retransmissions (via NEWEP or a peer's reply) must be
+        reflected in the next request, not a stale captured value.
+        """
+        while self.alive and self._recovering:
+            for peer in self._recovery_peers():
+                if peer not in self._sync_replies:
+                    self.sync_requests_sent += 1
+                    self.send(
+                        peer,
+                        SyncRequest(
+                            replica=self.node_id, epoch_no=self._epoch_no
+                        ),
+                        size=_HEADER_BYTES,
+                    )
+            yield self.sim.sleep(_SYNC_RETRY_INTERVAL)
+
+    def _on_sync_request(self, envelope: Envelope) -> None:
+        message: SyncRequest = envelope.payload
+        del message
+        if self._recovering:
+            # A quarantined replica's state is not yet trustworthy; two
+            # simultaneously recovering replicas must not certify each
+            # other (the requester needs *caught-up* peers to count
+            # toward its read-quorum's worth of replies).
+            return
+        self.sync_requests_served += 1
+        payload_bytes = sum(v.size for v in self._versions.values())
+        self.send(
+            envelope.sender,
+            SyncReply(
+                replica=self.node_id,
+                epoch_no=self._epoch_no,
+                cfg_no=self._cfg_no,
+                plan=self._plan,
+                versions=dict(self._versions),
+            ),
+            size=_HEADER_BYTES + payload_bytes,
+        )
+
+    def _on_sync_reply(self, envelope: Envelope) -> None:
+        """Merge a peer's state; atomic (no suspension points) by design."""
+        message: SyncReply = envelope.payload
+        if not self._recovering:
+            return
+        for object_id in sorted(message.versions):
+            version = message.versions[object_id]
+            current = self._versions.get(object_id)
+            if current is None or version.stamp > current.stamp:
+                self._backend.put(object_id, version)
+                self.sync_versions_applied += 1
+        if (message.epoch_no, message.cfg_no) > (self._epoch_no, self._cfg_no):
+            self._epoch_no = message.epoch_no
+            self._cfg_no = message.cfg_no
+            self._plan = message.plan
+            self._backend.set_epoch(
+                message.epoch_no, message.cfg_no, message.plan
+            )
+        self._sync_replies[message.replica] = message.epoch_no
+        self._maybe_exit_quarantine()
+
+    def _maybe_exit_quarantine(self) -> None:
+        """Lift the quarantine once the I6 catch-up condition holds.
+
+        Condition: replies from at least ``max_read(plan)`` distinct
+        peers whose epoch is no newer than ours (we adopt newer epochs
+        on sight, so this means "at the current epoch").  Any read
+        quorum's worth of peers intersects every write quorum of the
+        current configuration, so every write acknowledged while this
+        replica was down has been merged; the replayed WAL covers every
+        write acknowledged before the crash except a torn tail, which
+        the same intersection argument recovers from peers.
+        """
+        if not self._recovering:
+            return
+        if any(
+            epoch > self._epoch_no for epoch in self._sync_replies.values()
+        ):
+            return
+        peers = self._recovery_peers()
+        needed = min(self._plan.max_read, len(peers)) if peers else 0
+        caught_up = sum(
+            1
+            for epoch in self._sync_replies.values()
+            if epoch >= self._epoch_no
+        )
+        if caught_up < needed:
+            return
+        self._recovering = False
+        self.recoveries_completed += 1
+        self._sync_replies.clear()
+        self._backend.set_epoch(self._epoch_no, self._cfg_no, self._plan)
+        self._backend.flush()
+
+    # -- durability ---------------------------------------------------------------
+
+    def _wal_flush_loop(self) -> Iterator:
+        """Bound how long an acked write can sit unfsynced (live only)."""
+        while self.alive:
+            yield self.sim.sleep(_WAL_FLUSH_INTERVAL)
+            self._backend.flush()
 
     # -- service model ------------------------------------------------------------
 

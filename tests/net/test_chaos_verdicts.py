@@ -1,0 +1,130 @@
+"""The chaos harness's verdict logic, unit-tested without a cluster."""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.types import NodeId, OpType
+from repro.net.chaos import (
+    _metric_value,
+    _ReadbackSource,
+    count_lost_acked_writes,
+)
+from repro.sds.client import OperationRecord
+
+CLIENT = NodeId.client(0)
+INF = float("inf")
+
+
+def write(obj, value, completed_at, invoked_at=None):
+    return OperationRecord(
+        client=CLIENT,
+        object_id=obj,
+        op_type=OpType.WRITE,
+        invoked_at=invoked_at if invoked_at is not None else completed_at - 0.1,
+        completed_at=completed_at,
+        value=value,
+    )
+
+
+def read(obj, value, invoked_at=100.0):
+    return OperationRecord(
+        client=CLIENT,
+        object_id=obj,
+        op_type=OpType.READ,
+        invoked_at=invoked_at,
+        completed_at=invoked_at + 0.01,
+        value=value,
+    )
+
+
+class TestLostAckedWrites:
+    def test_clean_history_has_no_losses(self) -> None:
+        history = [write("a", b"a1", 1.0), write("a", b"a2", 2.0)]
+        lost, details = count_lost_acked_writes(
+            history, [read("a", b"a2"), read("a", b"a2")]
+        )
+        assert lost == 0 and details == []
+
+    def test_older_acked_value_is_a_loss(self) -> None:
+        history = [write("a", b"a1", 1.0), write("a", b"a2", 2.0)]
+        lost, details = count_lost_acked_writes(history, [read("a", b"a1")])
+        assert lost == 1
+        assert "acked at 1.000" in details[0]
+
+    def test_initial_value_after_acked_writes_is_a_loss(self) -> None:
+        history = [write("a", b"a1", 1.0)]
+        lost, details = count_lost_acked_writes(history, [read("a", b"")])
+        assert lost == 1
+        assert "initial/unknown" in details[0]
+
+    def test_maybe_applied_write_landing_late_is_legal(self) -> None:
+        # The a-late write timed out at the client (completed_at=inf):
+        # it may take effect at any point, including after a2's ack.
+        history = [
+            write("a", b"a-late", INF, invoked_at=0.5),
+            write("a", b"a2", 2.0),
+        ]
+        lost, _details = count_lost_acked_writes(
+            history, [read("a", b"a-late")]
+        )
+        assert lost == 0
+
+    def test_object_without_acked_writes_is_ignored(self) -> None:
+        history = [write("a", b"a-late", INF, invoked_at=0.5)]
+        lost, _details = count_lost_acked_writes(
+            history, [read("a", b""), read("never-written", b"")]
+        )
+        assert lost == 0
+
+    def test_incomplete_readback_reads_are_skipped(self) -> None:
+        history = [write("a", b"a1", 1.0)]
+        pending = OperationRecord(
+            client=CLIENT,
+            object_id="a",
+            op_type=OpType.READ,
+            invoked_at=100.0,
+            completed_at=INF,
+            value=None,
+        )
+        lost, _details = count_lost_acked_writes(history, [pending])
+        assert lost == 0
+
+    def test_losses_counted_per_read_observation(self) -> None:
+        history = [write("a", b"a1", 1.0), write("a", b"a2", 2.0)]
+        lost, _details = count_lost_acked_writes(
+            history, [read("a", b"a1"), read("a", b"a1")]
+        )
+        assert lost == 2
+
+
+class TestMetricValue:
+    SCRAPE = (
+        "# HELP qopt_replica_recoveries_total quarantined rejoins\n"
+        "# TYPE qopt_replica_recoveries_total gauge\n"
+        'qopt_replica_recoveries_total{node="storage-2"} 1.0\n'
+        'qopt_wal_fsyncs_total{node="storage-2"} 37.0\n'
+    )
+
+    def test_finds_family_value(self) -> None:
+        assert (
+            _metric_value(self.SCRAPE, "qopt_replica_recoveries_total")
+            == 1.0
+        )
+        assert _metric_value(self.SCRAPE, "qopt_wal_fsyncs_total") == 37.0
+
+    def test_missing_family_is_none(self) -> None:
+        assert _metric_value(self.SCRAPE, "qopt_nope") is None
+        assert _metric_value("", "qopt_nope") is None
+
+
+class TestReadbackSource:
+    def test_cycles_through_every_object(self) -> None:
+        objects = ["obj-a", "obj-b", "obj-c"]
+        source = _ReadbackSource(objects=list(objects))
+        rng = random.Random(0)
+        issued = [source.next_operation(rng) for _ in range(7)]
+        assert [op.object_id for op in issued] == [
+            "obj-a", "obj-b", "obj-c", "obj-a", "obj-b", "obj-c", "obj-a"
+        ]
+        assert all(op.op_type is OpType.READ for op in issued)

@@ -19,6 +19,7 @@ from repro.net.httpd import http_get
 from repro.net.loadgen import LoadGenerator
 from repro.net.runtime import NodeRuntime
 from repro.net.spec import build_spec
+from repro.sds.storage import StorageNode
 
 pytestmark = pytest.mark.slow
 
@@ -105,5 +106,87 @@ def test_node_runtime_health_and_shutdown_endpoints() -> None:
             if not served.done():
                 runtime.request_shutdown()
                 await asyncio.wait_for(served, 10.0)
+
+    asyncio.run(scenario())
+
+
+def test_wal_backed_replica_crashes_and_rejoins_quarantined(
+    tmp_path,
+) -> None:
+    """In-process crash drill: a WAL-backed replica is torn down without
+    its final fsync, restarts recovered, serves writes while read-silent,
+    and re-enters read quorums only after the I6 sync completes."""
+
+    async def scenario() -> None:
+        spec = allocate_ports(
+            build_spec(
+                replicas=5,
+                proxies=1,
+                write_quorum=4,
+                seed=7,
+                data_dir=str(tmp_path / "data"),
+            )
+        )
+        runtimes = {
+            address.name: NodeRuntime(spec, address.name)
+            for address in spec.all_addresses()
+        }
+        for runtime in runtimes.values():
+            await runtime.start()
+        generator = LoadGenerator(
+            spec, clients=4, workload="a", objects=16, seed=7
+        )
+        await generator.start()
+        try:
+            await generator.wait_cluster_healthy(deadline=10.0)
+            first = await generator.run_phase(
+                "W=4", duration=0.8, write_quorum=4
+            )
+            assert first.operations > 0
+
+            victim_name = spec.replicas[0].name
+            victim = runtimes[victim_name]
+            assert victim.backend is not None
+            assert victim.backend.records_appended > 0
+            # Crash, not shutdown: no backend.close(), so the buffered
+            # WAL tail is simply gone — like the process dying.
+            victim.node.crash()
+            await victim.http.stop()
+            await victim.transport.stop()
+
+            reborn = NodeRuntime(spec, victim_name)
+            runtimes[victim_name] = reborn
+            node = reborn.node
+            assert isinstance(node, StorageNode)
+            assert reborn.backend is not None
+            assert reborn.backend.recovered is True
+            assert node.quarantined is True  # before start(): from disk
+            await reborn.start()
+
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 10.0
+            while node.quarantined and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            assert node.quarantined is False
+            assert node.recoveries_completed == 1
+            assert node.sync_requests_sent > 0
+
+            address = spec.address_of(victim_name)
+            status, body = await http_get(
+                address.host, address.http_port, "/healthz"
+            )
+            assert status == 200
+            assert "quarantined=false" in body
+
+            second = await generator.run_phase(
+                "W=4-after", duration=0.5, write_quorum=4
+            )
+            assert second.operations > 0
+            violations, _linearizable = generator.check_history()
+            assert violations == 0
+        finally:
+            await generator.stop()
+            for runtime in runtimes.values():
+                await runtime.stop()
 
     asyncio.run(scenario())

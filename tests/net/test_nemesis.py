@@ -1,0 +1,154 @@
+"""Nemesis building blocks: schedules, restart policy, fault injector."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.common.types import NodeId
+from repro.net.nemesis import FaultInjector, RestartPolicy, build_schedule
+from repro.net.spec import build_spec
+
+
+def spec():
+    return build_spec(replicas=5, proxies=1, write_quorum=4, seed=7)
+
+
+class TestSchedules:
+    def test_deterministic_given_seed(self) -> None:
+        assert build_schedule(spec(), seed=3, cycles=6) == build_schedule(
+            spec(), seed=3, cycles=6
+        )
+
+    def test_different_seeds_differ(self) -> None:
+        schedules = {
+            tuple(build_schedule(spec(), seed=s, cycles=6)) for s in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_victims_are_storage_replicas_with_bounded_timing(self) -> None:
+        replicas = {address.name for address in spec().replicas}
+        for cycle in build_schedule(
+            spec(),
+            seed=5,
+            cycles=20,
+            delay_range=(1.0, 2.0),
+            downtime_range=(0.25, 0.5),
+        ):
+            assert cycle.victim in replicas
+            assert 1.0 <= cycle.delay <= 2.0
+            assert 0.25 <= cycle.downtime <= 0.5
+
+    def test_no_back_to_back_victim(self) -> None:
+        for seed in range(10):
+            schedule = build_schedule(spec(), seed=seed, cycles=12)
+            for previous, current in zip(schedule, schedule[1:]):
+                assert previous.victim != current.victim
+
+
+class TestRestartPolicy:
+    def test_backoff_doubles_then_caps(self) -> None:
+        policy = RestartPolicy(backoff_base=0.2, backoff_cap=1.0)
+        delays = [policy.backoff(attempt) for attempt in range(5)]
+        assert delays[0] == 0.2
+        assert delays[1] == 0.4
+        assert delays[2] == 0.8
+        assert delays[3] == 1.0  # capped
+        assert delays[4] == 1.0
+
+
+class _RecordingTransport:
+    """Duck-typed stand-in for TcpTransport behind FaultInjector."""
+
+    def __init__(self, loop) -> None:
+        self.sent = []
+        self.registered = []
+        self.drops = 0
+
+        class _Kernel:
+            pass
+
+        self._kernel = _Kernel()
+        self._kernel._loop = loop
+
+    def register(self, node_id):
+        self.registered.append(node_id)
+        return f"mailbox:{node_id}"
+
+    def send(self, sender, recipient, payload, size=256, trace=None):
+        self.sent.append((sender, recipient, payload, size))
+
+    def drop_connections(self):
+        self.drops += 1
+
+
+class TestFaultInjector:
+    def test_passthrough_when_rates_are_zero(self) -> None:
+        async def scenario() -> None:
+            inner = _RecordingTransport(asyncio.get_running_loop())
+            injector = FaultInjector(inner=inner, seed=1)
+            assert injector.register(NodeId.client(0)) == (
+                f"mailbox:{NodeId.client(0)}"
+            )
+            for round_no in range(20):
+                injector.send(
+                    NodeId.client(0), NodeId.storage(0), round_no, size=8
+                )
+            assert len(inner.sent) == 20
+            assert injector.dropped == 0 and injector.delayed == 0
+
+        asyncio.run(scenario())
+
+    def test_drop_rate_one_drops_everything_forever(self) -> None:
+        async def scenario() -> None:
+            inner = _RecordingTransport(asyncio.get_running_loop())
+            injector = FaultInjector(inner=inner, seed=1, drop_rate=1.0)
+            for round_no in range(10):
+                injector.send(
+                    NodeId.client(0), NodeId.storage(0), round_no
+                )
+            await asyncio.sleep(0.05)  # nothing arrives later either
+            assert inner.sent == []
+            assert injector.dropped == 10
+
+        asyncio.run(scenario())
+
+    def test_delay_defers_but_delivers_exactly_once(self) -> None:
+        async def scenario() -> None:
+            inner = _RecordingTransport(asyncio.get_running_loop())
+            injector = FaultInjector(
+                inner=inner, seed=1, delay_rate=1.0, delay_seconds=0.02
+            )
+            injector.send(
+                NodeId.client(0), NodeId.storage(0), "spike", size=64
+            )
+            assert inner.sent == []  # not delivered synchronously
+            await asyncio.sleep(0.08)
+            assert inner.sent == [
+                (NodeId.client(0), NodeId.storage(0), "spike", 64)
+            ]
+            assert injector.delayed == 1
+
+        asyncio.run(scenario())
+
+    def test_reset_connections_forwards_to_transport(self) -> None:
+        async def scenario() -> None:
+            inner = _RecordingTransport(asyncio.get_running_loop())
+            injector = FaultInjector(inner=inner, seed=1)
+            injector.reset_connections()
+            injector.reset_connections()
+            assert inner.drops == 2
+            assert injector.resets == 2
+
+        asyncio.run(scenario())
+
+    def test_seeded_rates_are_reproducible(self) -> None:
+        async def scenario() -> tuple:
+            inner = _RecordingTransport(asyncio.get_running_loop())
+            injector = FaultInjector(inner=inner, seed=9, drop_rate=0.5)
+            for round_no in range(50):
+                injector.send(
+                    NodeId.client(0), NodeId.storage(0), round_no
+                )
+            return tuple(payload for *_args, payload, _s in inner.sent)
+
+        assert asyncio.run(scenario()) == asyncio.run(scenario())

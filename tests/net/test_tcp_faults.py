@@ -1,0 +1,188 @@
+"""TcpTransport under faults: peer death mid-stream, resets, reconnects.
+
+Satellite coverage for the at-most-once contract: when a connection
+breaks, every frame in flight is lost *as a unit* (coalesced batches
+never straddle a reconnect, so the receiver's decoder never sees a torn
+frame), nothing is re-queued, and the route re-establishes with backoff
+once the peer is back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.common.types import NodeId
+from repro.net.kernel import RealtimeKernel
+from repro.net.tcp import TcpTransport
+
+pytestmark = pytest.mark.slow
+
+SERVER = NodeId.storage(0)
+CLIENT = NodeId.client(0)
+
+
+async def _drain(kernel, mailbox, sink, count, timeout=5.0):
+    for _ in range(count):
+        envelope = await asyncio.wait_for(
+            kernel.wrap_future(mailbox.receive()), timeout
+        )
+        sink.append(envelope.payload)
+
+
+async def _settle(condition, timeout=5.0, interval=0.02):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not condition():
+        if asyncio.get_running_loop().time() >= deadline:
+            return False
+        await asyncio.sleep(interval)
+    return True
+
+
+def test_route_reestablishes_after_peer_death_mid_stream() -> None:
+    """Kill the server while traffic flows; bring it back on the same
+    port; the peer link must reconnect (with backoff) and later frames
+    must arrive exactly once, with no decode errors from torn frames."""
+
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        server = TcpTransport(
+            kernel, {}, listen_port=0, rng=random.Random(1)
+        )
+        await server.start()
+        assert server.listen_address is not None
+        host, port = server.listen_address
+        directory = {SERVER: (host, port)}
+        client = TcpTransport(kernel, directory, rng=random.Random(2))
+        await client.start()
+        server_box = server.register(SERVER)
+        client.register(CLIENT)
+        received: list = []
+        try:
+            for round_no in range(3):
+                client.send(CLIENT, SERVER, f"before-{round_no}", size=32)
+            await _drain(kernel, server_box, received, 3)
+
+            # Fail-stop the server mid-stream.  Frames sent while it is
+            # down are lost (at-most-once: dropped, never re-queued).
+            await server.stop()
+            for round_no in range(5):
+                client.send(CLIENT, SERVER, f"during-{round_no}", size=32)
+            await asyncio.sleep(0.2)  # let the link notice and retry
+
+            # Same port, fresh process-equivalent.
+            reborn = TcpTransport(
+                kernel,
+                {},
+                listen_host=host,
+                listen_port=port,
+                rng=random.Random(3),
+            )
+            await reborn.start()
+            reborn_box = reborn.register(SERVER)
+            try:
+                assert await _settle(
+                    lambda: any(
+                        link.reconnects > 0
+                        for link in client._peers.values()
+                    )
+                ), "peer link never reconnected"
+                for round_no in range(3):
+                    client.send(CLIENT, SERVER, f"after-{round_no}", size=32)
+                after: list = []
+                await _drain(kernel, reborn_box, after, 3)
+                assert sorted(after)[-3:] == [
+                    "after-0", "after-1", "after-2"
+                ]
+                # Exactly once: no payload delivered twice across the
+                # old and new incarnations.
+                everything = received + after
+                assert len(everything) == len(set(everything))
+                assert server.decode_errors == 0
+                assert reborn.decode_errors == 0
+            finally:
+                await reborn.stop()
+        finally:
+            await client.stop()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_drop_connections_loses_inflight_as_a_unit() -> None:
+    """A reset under load must never duplicate or tear frames: the
+    receiver sees a prefix-unique subset of what was sent, decodes
+    cleanly, and traffic resumes on the re-established link."""
+
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        server = TcpTransport(
+            kernel, {}, listen_port=0, rng=random.Random(4)
+        )
+        await server.start()
+        directory = {SERVER: server.listen_address}
+        client = TcpTransport(kernel, directory, rng=random.Random(5))
+        await client.start()
+        server_box = server.register(SERVER)
+        client.register(CLIENT)
+        received: list = []
+
+        async def pump_received() -> None:
+            while True:
+                envelope = await kernel.wrap_future(server_box.receive())
+                received.append(envelope.payload)
+
+        pump = asyncio.get_running_loop().create_task(pump_received())
+        try:
+            # Interleave bursts with resets: every reset severs the live
+            # connection, losing whatever batch was in flight as a unit.
+            sent = 0
+            for burst in range(4):
+                for _ in range(50):
+                    client.send(CLIENT, SERVER, f"m-{sent}", size=16)
+                    sent += 1
+                client.drop_connections()
+                await asyncio.sleep(0.05)
+            assert client.connection_resets == 4
+            # The link recovers: a fresh burst after the last reset must
+            # get through.
+            await asyncio.sleep(0.3)
+            marker_base = sent
+            for _ in range(5):
+                client.send(CLIENT, SERVER, f"m-{sent}", size=16)
+                sent += 1
+            markers = {f"m-{n}" for n in range(marker_base, sent)}
+            assert await _settle(
+                lambda: markers <= set(received)
+            ), "post-reset traffic never arrived"
+
+            # At-most-once: nothing duplicated...
+            assert len(received) == len(set(received))
+            # ...and nothing torn: every loss was a whole frame, so the
+            # decoder never saw a partial record.
+            assert server.decode_errors == 0
+            assert set(received) <= {f"m-{n}" for n in range(sent)}
+        finally:
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+            await client.stop()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_reset_with_no_live_connection_is_harmless() -> None:
+    async def scenario() -> None:
+        kernel = RealtimeKernel()
+        transport = TcpTransport(kernel, {}, rng=random.Random(6))
+        await transport.start()
+        transport.drop_connections()  # nothing to sever: no-op
+        assert transport.connection_resets == 1
+        await transport.stop()
+
+    asyncio.run(scenario())

@@ -1,0 +1,196 @@
+"""WAL-backed persistence: replay, torn tails, snapshots, kill -9."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import QuorumConfig, Version, VersionStamp
+from repro.sds.persistence import MemoryBackend, WalBackend
+from repro.sds.quorum import QuorumPlan
+
+
+def version(time: float, value: bytes = b"v") -> Version:
+    return Version(
+        value=value,
+        stamp=VersionStamp(time, "proxy-0"),
+        size=len(value),
+        cfg_no=0,
+    )
+
+
+class TestMemoryBackend:
+    def test_is_a_plain_dict_with_no_recovery(self) -> None:
+        backend = MemoryBackend()
+        assert backend.durable is False
+        assert backend.recovered is False
+        backend.put("obj", version(1.0))
+        backend.set_epoch(3, 4)
+        backend.flush()
+        backend.close()
+        assert backend.versions["obj"].stamp.timestamp == 1.0
+        assert backend.recovered_state() == (0, 0, None)
+
+
+class TestWalRoundTrip:
+    def test_replay_restores_versions_and_epoch(self, tmp_path) -> None:
+        plan = QuorumPlan.uniform(QuorumConfig(2, 4))
+        first = WalBackend(str(tmp_path))
+        assert first.recovered is False
+        first.put("a", version(1.0, b"one"))
+        first.put("b", version(2.0, b"two"))
+        first.put("a", version(3.0, b"three"))  # newer overwrite
+        first.set_epoch(5, 7, plan)
+        first.close()
+
+        second = WalBackend(str(tmp_path))
+        assert second.recovered is True
+        assert second.records_replayed == 4
+        assert second.versions["a"].value == b"three"
+        assert second.versions["b"].value == b"two"
+        epoch_no, cfg_no, recovered_plan = second.recovered_state()
+        assert (epoch_no, cfg_no) == (5, 7)
+        assert recovered_plan == plan
+        second.close()
+
+    def test_append_after_recovery_extends_the_log(self, tmp_path) -> None:
+        first = WalBackend(str(tmp_path))
+        first.put("a", version(1.0))
+        first.close()
+        second = WalBackend(str(tmp_path))
+        second.put("b", version(2.0))
+        second.close()
+        third = WalBackend(str(tmp_path))
+        assert set(third.versions) == {"a", "b"}
+        third.close()
+
+    def test_fsync_batch_must_be_positive(self, tmp_path) -> None:
+        with pytest.raises(ConfigurationError):
+            WalBackend(str(tmp_path), fsync_batch=0)
+
+
+class TestTornTail:
+    def test_torn_record_is_truncated_not_fatal(self, tmp_path) -> None:
+        first = WalBackend(str(tmp_path))
+        first.put("a", version(1.0, b"keep"))
+        first.put("b", version(2.0, b"keep"))
+        first.close()
+        # A crash mid-append leaves a half-written record at the tail.
+        with open(first.wal_path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x40GARBAGE")
+
+        second = WalBackend(str(tmp_path))
+        assert second.records_truncated == 1
+        assert set(second.versions) == {"a", "b"}
+        # The tail was cut off on disk: appends splice after valid data.
+        second.put("c", version(3.0))
+        second.close()
+        third = WalBackend(str(tmp_path))
+        assert set(third.versions) == {"a", "b", "c"}
+        assert third.records_truncated == 0
+        third.close()
+
+    def test_corrupt_crc_ends_replay_at_the_flip(self, tmp_path) -> None:
+        first = WalBackend(str(tmp_path))
+        first.put("a", version(1.0))
+        first.put("b", version(2.0))
+        first.close()
+        with open(first.wal_path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(len(data) - 1)
+            handle.write(bytes([data[-1] ^ 0xFF]))  # flip last body byte
+        second = WalBackend(str(tmp_path))
+        assert second.records_replayed == 1  # only the intact prefix
+        assert second.records_truncated == 1
+        assert set(second.versions) == {"a"}
+        second.close()
+
+
+class TestSnapshot:
+    def test_snapshot_truncates_wal_and_survives_restart(
+        self, tmp_path
+    ) -> None:
+        backend = WalBackend(str(tmp_path), snapshot_bytes=1)
+        # Every append crosses the 1-byte threshold: snapshot each time.
+        backend.put("a", version(1.0, b"one"))
+        assert backend.snapshots_taken == 1
+        assert os.path.getsize(backend.wal_path) == 0
+        backend.set_epoch(2, 3)
+        backend.close()
+
+        second = WalBackend(str(tmp_path))
+        assert second.versions["a"].value == b"one"
+        assert second.recovered_state()[:2] == (2, 3)
+        # Snapshot already holds everything: nothing left in the WAL.
+        assert second.records_replayed == 0
+        second.close()
+
+    def test_fsync_batching_counts(self, tmp_path) -> None:
+        backend = WalBackend(str(tmp_path), fsync_batch=2)
+        backend.put("a", version(1.0))
+        assert backend.fsyncs == 0  # below the batch threshold
+        backend.put("b", version(2.0))
+        assert backend.fsyncs == 1  # batch boundary
+        backend.flush()
+        assert backend.fsyncs == 1  # nothing pending: flush is a no-op
+        backend.close()
+
+
+_KILLER = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.common.types import Version, VersionStamp
+from repro.sds.persistence import WalBackend
+
+backend = WalBackend({directory!r}, fsync_batch=1)
+for index in range(5):
+    backend.put(
+        "obj-%d" % index,
+        Version(
+            value=b"durable-%d" % index,
+            stamp=VersionStamp(float(index + 1), "proxy-0"),
+            size=16,
+            cfg_no=0,
+        ),
+    )
+backend.set_epoch(9, 9, None)
+os.write(1, b"ready\\n")
+os.kill(os.getpid(), signal.SIGKILL)  # no close(), no atexit, nothing
+"""
+
+
+class TestKillNine:
+    def test_sigkill_then_replay_recovers_fsynced_records(
+        self, tmp_path
+    ) -> None:
+        """The acceptance scenario: kill -9 a writer, replay its WAL.
+
+        ``fsync_batch=1`` makes every record durable at append time, so
+        a SIGKILL immediately after the last append must lose nothing.
+        """
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        directory = str(tmp_path / "wal")
+        process = subprocess.run(
+            [sys.executable, "-c", _KILLER.format(src=src, directory=directory)],
+            capture_output=True,
+            timeout=60,
+        )
+        assert process.returncode == -9  # died by SIGKILL, as scripted
+        assert b"ready" in process.stdout
+
+        backend = WalBackend(directory)
+        assert backend.recovered is True
+        assert backend.records_replayed == 6  # 5 puts + 1 epoch
+        assert backend.records_truncated == 0
+        assert {
+            object_id: held.value for object_id, held in backend.versions.items()
+        } == {"obj-%d" % i: b"durable-%d" % i for i in range(5)}
+        assert backend.recovered_state()[:2] == (9, 9)
+        backend.close()
