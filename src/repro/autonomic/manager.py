@@ -140,9 +140,14 @@ class AutonomicManager(Node):
         suspect_poll_interval: float = 0.05,
         retransmit_interval: float = 0.5,
         obs: Optional[Observability] = None,
+        node_id: Optional[NodeId] = None,
     ) -> None:
+        # A sharded deployment runs one AM per shard, so the singleton
+        # id is only the default, not an invariant.
         super().__init__(
-            sim, network, NodeId.singleton(NodeKind.AUTONOMIC_MANAGER)
+            sim,
+            network,
+            node_id or NodeId.singleton(NodeKind.AUTONOMIC_MANAGER),
         )
         self._obs = obs
         if not proxies:

@@ -29,6 +29,14 @@ def _spec_arguments(parser: argparse.ArgumentParser) -> None:
         help="initial global write quorum W (R = N - W + 1)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "independent shards; --replicas/--proxies are per shard "
+            "and each shard gets its own reconfiguration manager "
+            "(default 1 = the classic single-ring cluster)"
+        ),
+    )
 
 
 def _load_arguments(parser: argparse.ArgumentParser) -> None:
@@ -94,6 +102,7 @@ def cmd_cluster(argv: Sequence[str]) -> int:
         proxies=args.proxies,
         write_quorum=args.write_quorum,
         seed=args.seed,
+        shards=args.shards,
     )
 
     async def _run() -> int:
@@ -138,8 +147,25 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
         ),
     )
     parser.add_argument(
-        "--spec", required=True,
-        help="cluster JSON written by `python -m repro cluster`",
+        "--spec", default=None,
+        help=(
+            "cluster JSON written by `python -m repro cluster` "
+            "(omit with --shards N to run the self-contained scale-out "
+            "benchmark, which boots its own clusters)"
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help=(
+            "run the scale-out benchmark with this many shards: "
+            "single-ring reference, fleet load, and a concurrent "
+            "two-shard reconfiguration storm; writes "
+            "BENCH_net_scaleout.json"
+        ),
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=5,
+        help="replicas per shard (scale-out mode only)",
     )
     _load_arguments(parser)
     parser.add_argument(
@@ -148,19 +174,27 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
-        "--output", default="BENCH_net.json",
-        help="report path (default BENCH_net.json)",
+        "--output", default=None,
+        help=(
+            "report path (default BENCH_net.json, or "
+            "BENCH_net_scaleout.json with --shards)"
+        ),
     )
     parser.add_argument(
         "--baseline", default=None,
         help=(
-            "pinned BENCH_net baseline JSON; fail if any phase drops "
+            "pinned baseline JSON; fail if any phase drops "
             "below 70%% of its baseline ops/sec"
         ),
     )
     args = parser.parse_args(list(argv))
+    if args.shards >= 2:
+        return _run_scaleout_command(args)
+    if args.spec is None:
+        parser.error("--spec is required (or use --shards N)")
     spec = ClusterSpec.load(args.spec)
     phases: List[int] = args.phases or [4, 2]
+    output = args.output or "BENCH_net.json"
 
     from repro.net.loadgen import check_baseline, run_bench, write_report
 
@@ -180,7 +214,7 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
     )
     write_report(
         result,
-        args.output,
+        output,
         extra={
             "workload": args.workload,
             "clients": args.clients,
@@ -204,7 +238,7 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
         f"{result.consistency_violations} violations, "
         f"linearizable={result.linearizable}"
     )
-    print(f"report written to {args.output}")
+    print(f"report written to {output}")
     failures: List[str] = []
     if args.baseline:
         failures = check_baseline(result, args.baseline)
@@ -216,6 +250,54 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
     # pass a run whose JSON says it failed (or whose linearizability
     # check never finished).
     problems = result.problems() + failures
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    return 1 if problems else 0
+
+
+def _run_scaleout_command(args: argparse.Namespace) -> int:
+    """``loadgen --shards N``: the self-contained scale-out benchmark."""
+    from repro.net.loadgen import check_baseline
+    from repro.net.scaleout import run_scaleout, write_scaleout_report
+
+    report = asyncio.run(
+        run_scaleout(
+            shards=args.shards,
+            replicas=args.replicas,
+            duration=args.duration,
+            clients=args.clients,
+            workload=args.workload,
+            object_size=args.object_size,
+            objects=args.objects,
+            seed=args.seed,
+            pipeline_depth=args.depth,
+            injection_rate=args.rate,
+        )
+    )
+    output = args.output or "BENCH_net_scaleout.json"
+    write_scaleout_report(
+        report,
+        output,
+        extra={
+            "workload": args.workload,
+            "clients": args.clients,
+            "object_size": args.object_size,
+            "objects": args.objects,
+            "seed": args.seed,
+            "pipeline_depth": args.depth,
+            "injection_rate": args.rate,
+        },
+    )
+    print(report.render())
+    print(f"report written to {output}")
+    failures: List[str] = []
+    if args.baseline:
+        failures = check_baseline(report.fleet, args.baseline)
+        for failure in failures:
+            print(f"BASELINE REGRESSION: {failure}")
+        if not failures:
+            print(f"baseline gate passed ({args.baseline})")
+    problems = report.problems() + failures
     for problem in problems:
         print(f"FAIL: {problem}")
     return 1 if problems else 0

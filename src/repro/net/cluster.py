@@ -55,10 +55,44 @@ def allocate_ports(spec: ClusterSpec) -> ClusterSpec:
             replicas=[fill(a) for a in spec.replicas],
             proxies=[fill(a) for a in spec.proxies],
             manager=fill(spec.manager),
+            extra_managers=[fill(a) for a in spec.extra_managers],
         )
     finally:
         for sock in held:
             sock.close()
+
+
+#: ``(rss_bytes, cpu_seconds)`` keys of one worker's resource snapshot.
+def proc_stats(pid: int) -> Optional[Dict[str, float]]:
+    """Resident set size and CPU time of one process, from ``/proc``.
+
+    Returns ``None`` when the process is gone or ``/proc`` is not
+    available (non-Linux).  Reading ``/proc/<pid>/stat`` directly keeps
+    this dependency-free: field 24 is RSS in pages, fields 14/15 are
+    user/system jiffies.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "r", encoding="ascii") as handle:
+            raw = handle.read()
+    except OSError:
+        return None
+    # The comm field is parenthesised and may contain spaces; split
+    # after its closing paren so the numeric fields index stably.
+    _, _, rest = raw.rpartition(") ")
+    fields = rest.split()
+    if len(fields) < 22:
+        return None
+    try:
+        ticks = float(os.sysconf("SC_CLK_TCK"))
+        page = float(os.sysconf("SC_PAGE_SIZE"))
+        utime, stime = float(fields[11]), float(fields[12])
+        rss_pages = float(fields[21])
+    except (ValueError, OSError):
+        return None
+    return {
+        "rss_bytes": rss_pages * page,
+        "cpu_seconds": (utime + stime) / ticks,
+    }
 
 
 @dataclass
@@ -79,6 +113,12 @@ class NodeProcess:
     @property
     def returncode(self) -> Optional[int]:
         return self.process.poll()
+
+    def resources(self) -> Optional[Dict[str, float]]:
+        """This worker's current RSS/CPU snapshot (``None`` once dead)."""
+        if self.returncode is not None:
+            return None
+        return proc_stats(self.process.pid)
 
 
 class LocalCluster:
@@ -261,6 +301,9 @@ class LocalCluster:
                 "returncode": worker.returncode,
                 "restarts": worker.restarts,
                 "healthz": None,
+                # Attributes throughput to cores: fleet runs read these
+                # to see which shard's workers are burning CPU.
+                "resources": worker.resources(),
             }
             if entry["alive"]:
                 try:
@@ -289,6 +332,12 @@ class LocalCluster:
             )
             if worker.restarts:
                 status += f" restarts={worker.restarts}"
+            resources = worker.resources()
+            if resources is not None:
+                status += (
+                    f"  rss={resources['rss_bytes'] / 1e6:.1f}MB"
+                    f" cpu={resources['cpu_seconds']:.2f}s"
+                )
             lines.append(
                 f"  {address.name:12s} transport {address.host}:{address.port}"
                 f"  http {address.host}:{address.http_port}"
@@ -297,4 +346,4 @@ class LocalCluster:
         return "\n".join(lines)
 
 
-__all__ = ["LocalCluster", "NodeProcess", "allocate_ports"]
+__all__ = ["LocalCluster", "NodeProcess", "allocate_ports", "proc_stats"]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import json
 import random
+import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -32,8 +33,10 @@ from repro.net.httpd import http_get, wait_healthy
 from repro.net.kernel import RealtimeKernel
 from repro.net.spec import ClusterSpec
 from repro.net.tcp import TcpTransport
+from repro.obs.metrics import Histogram, HistogramSnapshot
 from repro.sds.client import ClientNode, OperationRecord, OperationSource
 from repro.sds.consistency import HistoryChecker, SearchBudgetExceeded
+from repro.shard.router import ShardRouter
 from repro.workloads import ycsb
 from repro.workloads.base import Operation, Workload
 
@@ -64,9 +67,15 @@ class PhaseResult:
     failed: int
     retries: int
     latencies: Dict[str, Dict[str, float]]
+    #: Completed operations per shard (empty for unsharded runs).
+    shard_operations: Dict[str, int] = field(default_factory=dict)
+    #: Per-op-type mergeable latency histograms for this phase.  These —
+    #: not the per-phase percentiles — are what cross-phase/cross-shard
+    #: aggregation consumes: percentiles do not average.
+    snapshots: Dict[str, HistogramSnapshot] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "write_quorum": self.write_quorum,
             "duration_s": round(self.duration, 3),
@@ -76,6 +85,59 @@ class PhaseResult:
             "retries": self.retries,
             "latency_s": self.latencies,
         }
+        if self.shard_operations:
+            payload["shard_operations"] = dict(
+                sorted(self.shard_operations.items())
+            )
+            payload["shard_ops_per_sec"] = {
+                shard: round(count / self.duration, 1)
+                if self.duration > 0
+                else 0.0
+                for shard, count in sorted(self.shard_operations.items())
+            }
+        return payload
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """Per-shard consistency verdict over the cross-phase history."""
+
+    shard: str
+    records: int
+    violations: int
+    linearizable: Optional[bool]
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "records": self.records,
+            "violations": self.violations,
+            "linearizable": self.linearizable,
+        }
+
+
+def merged_latency_summary(
+    snapshots: List[HistogramSnapshot],
+) -> Dict[str, object]:
+    """Aggregate latency summary from mergeable histogram snapshots.
+
+    This is THE way to combine phases or shards: bucket counts add, then
+    percentiles come from the combined distribution.  Averaging per-phase
+    percentiles is wrong whenever the phases differ (the average of two
+    p99s is not the p99 of the union), which is exactly the regime a
+    reconfiguration benchmark lives in.
+    """
+    live = [s for s in snapshots if s.count]
+    if not live:
+        return {"count": 0}
+    merged = live[0]
+    for snapshot in live[1:]:
+        merged = merged.merged(snapshot)
+    summary = merged.as_dict()
+    return {
+        key: round(value, 6) if isinstance(value, float) else value
+        for key, value in summary.items()
+    }
 
 
 @dataclass
@@ -88,6 +150,9 @@ class LoadgenResult:
     consistency_violations: int
     linearizable: Optional[bool]
     records: List[OperationRecord] = field(default_factory=list)
+    #: Per-shard verdicts (empty for unsharded runs, where the top-level
+    #: fields already describe the single history).
+    shard_outcomes: List[ShardOutcome] = field(default_factory=list)
 
     @property
     def total_failed(self) -> int:
@@ -122,11 +187,46 @@ class LoadgenResult:
                 problems.append(
                     f"phase {phase.name} completed zero operations"
                 )
+        for outcome in self.shard_outcomes:
+            if outcome.violations:
+                problems.append(
+                    f"shard {outcome.shard}: {outcome.violations} "
+                    "consistency violations"
+                )
+            if outcome.linearizable is None:
+                problems.append(
+                    f"shard {outcome.shard}: linearizability unverified"
+                )
+            elif not outcome.linearizable:
+                problems.append(
+                    f"shard {outcome.shard}: history is not linearizable"
+                )
         return problems
+
+    def aggregate_latencies(self) -> Dict[str, Dict[str, object]]:
+        """Cross-phase latency summary via histogram merge (never by
+        averaging per-phase percentiles)."""
+        merged: Dict[str, Dict[str, object]] = {}
+        for key in ("read", "write", "all"):
+            if key == "all":
+                snapshots = [
+                    phase.snapshots[name]
+                    for phase in self.phases
+                    for name in ("read", "write")
+                    if name in phase.snapshots
+                ]
+            else:
+                snapshots = [
+                    phase.snapshots[key]
+                    for phase in self.phases
+                    if key in phase.snapshots
+                ]
+            merged[key] = merged_latency_summary(snapshots)
+        return merged
 
     def as_dict(self) -> dict:
         problems = self.problems()
-        return {
+        payload = {
             "phases": [phase.as_dict() for phase in self.phases],
             "reconfig_seconds": (
                 None
@@ -136,9 +236,15 @@ class LoadgenResult:
             "history_records": self.history_records,
             "consistency_violations": self.consistency_violations,
             "linearizable": self.linearizable,
+            "aggregate_latency_s": self.aggregate_latencies(),
             "ok": not problems,
             "problems": problems,
         }
+        if self.shard_outcomes:
+            payload["shards"] = [
+                outcome.as_dict() for outcome in self.shard_outcomes
+            ]
+        return payload
 
 
 def _build_workload(workload: str, object_size: int, objects: int) -> Workload:
@@ -198,6 +304,20 @@ class LoadGenerator:
         self._next_client_index = 0
         #: Per-phase latency samples, collected via the per-phase logs.
         self._phases: List[PhaseResult] = []
+        #: Key→shard map; single implicit shard for pre-shard specs.
+        self.shard_map = spec.shard_map()
+        #: Shard-aware router, only for sharded fleets: every client
+        #: routes each operation key→shard→proxy.  Unsharded runs keep
+        #: the historical static client→proxy binding.
+        self.router: Optional[ShardRouter] = None
+        if spec.is_sharded():
+            self.router = ShardRouter(
+                self.shard_map,
+                {
+                    view.name: view.proxy_ids()
+                    for view in spec.shard_views()
+                },
+            )
 
     @property
     def workload(self) -> Workload:
@@ -271,6 +391,7 @@ class LoadGenerator:
                 policy=self.spec.client,
                 pipeline_depth=self.pipeline_depth,
                 injection_rate=self.injection_rate,
+                router=self.router,
             )
             fleet.append(client)
 
@@ -314,6 +435,21 @@ class LoadGenerator:
             for r in completed
             if r.op_type is OpType.WRITE
         ]
+        # Mergeable per-phase histograms: the only sound input for the
+        # cross-phase (and cross-shard) aggregate summary.
+        read_hist, write_hist = Histogram(), Histogram()
+        for latency in reads:
+            read_hist.observe(latency)
+        for latency in writes:
+            write_hist.observe(latency)
+        shard_operations: Dict[str, int] = {}
+        if self.spec.is_sharded():
+            shard_operations = {
+                name: 0 for name in self.shard_map.shard_names
+            }
+            for op_record in completed:
+                shard = self.shard_map.shard_of(op_record.object_id)
+                shard_operations[shard] += 1
         result = PhaseResult(
             name=name,
             write_quorum=write_quorum,
@@ -327,16 +463,31 @@ class LoadGenerator:
                 "write": _summarise(writes),
                 "all": _summarise(reads + writes),
             },
+            shard_operations=shard_operations,
+            snapshots={
+                "read": read_hist.snapshot(),
+                "write": write_hist.snapshot(),
+            },
         )
         self._phases.append(result)
         return result
 
     # -- reconfiguration -----------------------------------------------------
 
-    async def reconfigure(self, write_quorum: int) -> float:
-        """Drive a live global reconfiguration; returns wall seconds."""
+    async def reconfigure(
+        self, write_quorum: int, shard: Optional[str] = None
+    ) -> float:
+        """Drive a live reconfiguration of one shard; returns wall seconds.
+
+        ``shard=None`` targets shard 0 — exactly the historical global
+        reconfiguration on an unsharded fleet.  Sharded fleets name the
+        shard; its manager runs the two-phase change and the router's
+        entry for that shard refreshes from the new epoch.
+        """
         assert self.kernel is not None
-        manager = self.spec.manager
+        views = {view.name: view for view in self.spec.shard_views()}
+        view = views[shard] if shard is not None else self.spec.shard_views()[0]
+        manager = view.manager
         begin = self.kernel.tick()
         status, body = await http_get(
             manager.host,
@@ -345,8 +496,35 @@ class LoadGenerator:
             timeout=30.0,
         )
         if status != 200:
-            raise RuntimeError(f"reconfiguration failed: {status} {body!r}")
+            raise RuntimeError(
+                f"reconfiguration of {view.name} failed: {status} {body!r}"
+            )
+        if self.router is not None:
+            # The manager reports the installed epoch; feeding it to the
+            # router is the routing-table refresh for this shard.
+            match = re.search(r"epoch=(\d+)", body)
+            if match:
+                self.router.note_epoch(view.name, int(match.group(1)))
         return self.kernel.tick() - begin
+
+    async def refresh_routes(self) -> List[str]:
+        """Poll every shard manager's ``/healthz`` for its current epoch
+        and refresh any routing entries whose shard has moved on.
+        Returns the names of the shards that refreshed."""
+        if self.router is None:
+            return []
+        epochs: Dict[str, int] = {}
+        for view in self.spec.shard_views():
+            manager = view.manager
+            status, body = await http_get(
+                manager.host, manager.http_port, "/healthz", timeout=5.0
+            )
+            if status != 200:
+                continue
+            match = re.search(r"epoch=(-?\d+)", body)
+            if match:
+                epochs[view.name] = int(match.group(1))
+        return self.router.note_epochs(epochs)
 
     # -- reporting -----------------------------------------------------------
 
@@ -378,9 +556,73 @@ class LoadGenerator:
             linearizable = None  # not refuted, just too costly to confirm
         return len(violations), linearizable
 
+    def check_history_by_shard(
+        self, max_states: int = 2_000_000
+    ) -> List["ShardOutcome"]:
+        """Per-shard Wing-Gong: partition the history by owning shard
+        and verify each shard's sub-history independently.
+
+        Sharding makes this sound, not just cheaper: objects never span
+        shards, linearizability is local to an object's shard, and the
+        per-shard verdicts compose into the fleet verdict.  A violation
+        inside one shard is also pinned to that shard, which is what the
+        independence tests assert on.
+        """
+        checkers = {
+            name: HistoryChecker() for name in self.shard_map.shard_names
+        }
+        counts = {name: 0 for name in self.shard_map.shard_names}
+        for op_record in self.records:
+            shard = self.shard_map.shard_of(op_record.object_id)
+            checkers[shard].record(op_record)
+            counts[shard] += 1
+        outcomes: List[ShardOutcome] = []
+        for name in self.shard_map.shard_names:
+            checker = checkers[name]
+            violations = list(checker.check())
+            linearizable: Optional[bool]
+            try:
+                lin_violations = checker.check_linearizable(
+                    max_states=max_states
+                )
+                linearizable = not lin_violations
+                violations.extend(lin_violations)
+            except SearchBudgetExceeded:
+                linearizable = None
+            outcomes.append(
+                ShardOutcome(
+                    shard=name,
+                    records=counts[name],
+                    violations=len(violations),
+                    linearizable=linearizable,
+                )
+            )
+        return outcomes
+
     def result(
         self, reconfig_seconds: Optional[float]
     ) -> LoadgenResult:
+        if self.spec.is_sharded():
+            outcomes = self.check_history_by_shard()
+            verdicts = [outcome.linearizable for outcome in outcomes]
+            linearizable: Optional[bool]
+            if any(verdict is False for verdict in verdicts):
+                linearizable = False
+            elif any(verdict is None for verdict in verdicts):
+                linearizable = None
+            else:
+                linearizable = True
+            return LoadgenResult(
+                phases=list(self._phases),
+                reconfig_seconds=reconfig_seconds,
+                history_records=len(self.records),
+                consistency_violations=sum(
+                    outcome.violations for outcome in outcomes
+                ),
+                linearizable=linearizable,
+                records=list(self.records),
+                shard_outcomes=outcomes,
+            )
         violations, linearizable = self.check_history()
         return LoadgenResult(
             phases=list(self._phases),
@@ -484,7 +726,9 @@ __all__ = [
     "LoadGenerator",
     "LoadgenResult",
     "PhaseResult",
+    "ShardOutcome",
     "check_baseline",
+    "merged_latency_summary",
     "run_bench",
     "write_report",
 ]

@@ -24,7 +24,7 @@ from repro.common.rng import substream
 from repro.common.types import NodeId, NodeKind, QuorumConfig
 from repro.net.httpd import Handler, MiniHttpServer
 from repro.net.kernel import RealtimeKernel
-from repro.net.spec import ClusterSpec, NodeAddress
+from repro.net.spec import ClusterSpec, NodeAddress, ShardView
 from repro.net.tcp import TcpTransport
 from repro.obs.context import Observability
 from repro.obs.exporters import to_prometheus_text
@@ -60,6 +60,9 @@ class NodeRuntime:
         self.spec = spec
         self.address: NodeAddress = spec.address_of(node_name)
         self.node_id = self.address.node_id
+        #: The shard this process belongs to.  For pre-shard specs this
+        #: is the implicit whole-fleet shard, so nothing changes.
+        self.shard: ShardView = spec.shard_for(node_name)
         self.kernel: RealtimeKernel = RealtimeKernel()
         self.obs = Observability(
             tracing=False, clock=lambda: self.kernel.now
@@ -86,8 +89,12 @@ class NodeRuntime:
 
     def _build_node(self) -> LiveNode:
         spec = self.spec
+        shard = self.shard
         kind = self.node_id.kind
-        plan = spec.initial_plan()
+        # Every protocol object sees only its shard's topology: ring,
+        # membership and initial plan all come from the shard view, so a
+        # shard is a complete, independent Q-OPT instance.
+        plan = shard.initial_plan()
         if kind == NodeKind.STORAGE.value:
             if spec.data_dir:
                 self.backend = WalBackend(
@@ -100,7 +107,7 @@ class NodeRuntime:
                 config=spec.storage,
                 initial_plan=plan,
                 rng=substream(spec.seed, "storage", self.node_id.index),
-                ring=spec.ring(),
+                ring=shard.ring(),
                 obs=self.obs,
                 backend=self.backend,
             )
@@ -109,7 +116,7 @@ class NodeRuntime:
                 self.kernel,
                 self.transport,
                 self.node_id,
-                ring=spec.ring(),
+                ring=shard.ring(),
                 config=spec.proxy,
                 initial_plan=plan,
                 rng=substream(spec.seed, "proxy", self.node_id.index),
@@ -119,11 +126,12 @@ class NodeRuntime:
             return ReconfigurationManager(
                 self.kernel,
                 self.transport,
-                proxies=spec.proxy_ids(),
-                storage_nodes=spec.storage_ids(),
+                proxies=shard.proxy_ids(),
+                storage_nodes=shard.storage_ids(),
                 detector=NeverSuspect(),
                 initial_plan=plan,
-                replication_degree=spec.replication_degree,
+                replication_degree=shard.replication_degree,
+                node_id=self.node_id,
                 obs=self.obs,
             )
         raise ConfigurationError(f"cannot serve node kind {kind!r}")
@@ -174,60 +182,61 @@ class NodeRuntime:
     def _export_runtime_gauges(self) -> None:
         registry = self.obs.registry
         node = str(self.node_id)
+        shard = self.shard.name
         transport = self.transport
         registry.gauge(
             "qopt_transport_messages_total",
             help="transport delivery counters",
-            node=node, direction="sent",
+            shard=shard, node=node, direction="sent",
         ).set(float(transport.messages_sent))
         registry.gauge(
-            "qopt_transport_messages_total", node=node, direction="delivered"
+            "qopt_transport_messages_total", shard=shard, node=node, direction="delivered"
         ).set(float(transport.messages_delivered))
         registry.gauge(
-            "qopt_transport_messages_total", node=node, direction="dropped"
+            "qopt_transport_messages_total", shard=shard, node=node, direction="dropped"
         ).set(float(transport.messages_dropped))
         registry.gauge(
-            "qopt_transport_bytes_sent", help="payload bytes sent", node=node
+            "qopt_transport_bytes_sent", help="payload bytes sent", shard=shard, node=node
         ).set(float(transport.bytes_sent))
         registry.gauge(
             "qopt_kernel_events_total",
-            help="kernel callbacks dispatched", node=node,
+            help="kernel callbacks dispatched", shard=shard, node=node,
         ).set(float(self.kernel.events_processed))
         registry.gauge(
             "qopt_kernel_crashes_total",
-            help="unhandled process crashes", node=node,
+            help="unhandled process crashes", shard=shard, node=node,
         ).set(float(len(self.kernel.crashes)))
         node_obj = self.node
         if isinstance(node_obj, StorageNode):
             registry.gauge(
                 "qopt_replica_quarantined",
-                help="1 while read-excluded pending I6 catch-up", node=node,
+                help="1 while read-excluded pending I6 catch-up", shard=shard, node=node,
             ).set(1.0 if node_obj.quarantined else 0.0)
             registry.gauge(
                 "qopt_replica_recoveries_total",
-                help="quarantined rejoins completed", node=node,
+                help="quarantined rejoins completed", shard=shard, node=node,
             ).set(float(node_obj.recoveries_completed))
             registry.gauge(
                 "qopt_replica_reads_declined",
-                help="reads refused while quarantined", node=node,
+                help="reads refused while quarantined", shard=shard, node=node,
             ).set(float(node_obj.reads_declined))
         backend = self.backend
         if backend is not None:
             registry.gauge(
                 "qopt_wal_records_total",
-                help="WAL records appended since boot", node=node,
+                help="WAL records appended since boot", shard=shard, node=node,
             ).set(float(backend.records_appended))
             registry.gauge(
                 "qopt_wal_fsyncs_total",
-                help="batched WAL fsyncs", node=node,
+                help="batched WAL fsyncs", shard=shard, node=node,
             ).set(float(backend.fsyncs))
             registry.gauge(
                 "qopt_wal_snapshots_total",
-                help="snapshot+truncate cycles", node=node,
+                help="snapshot+truncate cycles", shard=shard, node=node,
             ).set(float(backend.snapshots_taken))
             registry.gauge(
                 "qopt_wal_records_replayed",
-                help="records replayed at last boot", node=node,
+                help="records replayed at last boot", shard=shard, node=node,
             ).set(float(backend.records_replayed))
 
     async def _handle_healthz(
@@ -235,15 +244,23 @@ class NodeRuntime:
     ) -> Tuple[int, str, str]:
         del query
         node = self.node
+        shard = self.shard.name
         if isinstance(node, StorageNode):
             # The quarantine flag is what the nemesis (and operators)
             # poll to see a restarted replica finish its I6 catch-up.
             return 200, "text/plain", (
-                f"ok {self.node_id}"
+                f"ok {self.node_id} shard={shard}"
                 f" quarantined={str(node.quarantined).lower()}"
                 f" epoch={node.epoch_no} cfg={node.cfg_no}\n"
             )
-        return 200, "text/plain", f"ok {self.node_id}\n"
+        if isinstance(node, (ProxyNode, ReconfigurationManager)):
+            # The shard router polls this line: an epoch bump here is
+            # the routing-table refresh signal for this node's shard.
+            return 200, "text/plain", (
+                f"ok {self.node_id} shard={shard}"
+                f" epoch={node.epoch_no} cfg={node.cfg_no}\n"
+            )
+        return 200, "text/plain", f"ok {self.node_id} shard={shard}\n"
 
     async def _handle_shutdown(
         self, query: Dict[str, str]
@@ -262,7 +279,7 @@ class NodeRuntime:
             return 400, "text/plain", "need ?write=<W>\n"
         try:
             quorum = QuorumConfig.from_write(
-                int(raw), self.spec.replication_degree
+                int(raw), self.shard.replication_degree
             )
         except ConfigurationError as exc:
             return 400, "text/plain", f"{exc}\n"

@@ -16,8 +16,8 @@ families, or any worker exits uncleanly.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.net.cluster import LocalCluster
 from repro.net.httpd import http_get
@@ -39,6 +39,11 @@ class SmokeReport:
     scrapes: Dict[str, str]
     exit_codes: Dict[str, int]
     problems: List[str]
+    #: Last per-worker RSS/CPU snapshot before shutdown (from /proc),
+    #: attributing the run's throughput to cores per worker.
+    resources: Dict[str, Optional[Dict[str, float]]] = field(
+        default_factory=dict
+    )
 
     @property
     def ok(self) -> bool:
@@ -58,6 +63,14 @@ class SmokeReport:
             f"linearizable={self.result.linearizable}"
         )
         lines.append(f"  scrapes: {len(self.scrapes)} endpoints ok")
+        for name in sorted(self.resources):
+            snapshot = self.resources[name]
+            if snapshot is None:
+                continue
+            lines.append(
+                f"  {name}: rss={snapshot['rss_bytes'] / 1e6:.1f}MB "
+                f"cpu={snapshot['cpu_seconds']:.2f}s"
+            )
         lines.append(f"  exits: {sorted(self.exit_codes.items())}")
         if self.problems:
             lines.append("  PROBLEMS:")
@@ -129,7 +142,11 @@ async def run_smoke(
         finally:
             await generator.stop()
         # Snapshot before shutdown: a worker that died mid-run must be
-        # reported as such, not folded into the graceful exit codes.
+        # reported as such, not folded into the graceful exit codes —
+        # and its resource usage is only readable while it is alive.
+        resources = {
+            worker.name: worker.resources() for worker in cluster.workers
+        }
         dead_workers = [worker.name for worker in cluster.dead_workers()]
         exit_codes = await cluster.shutdown()
     finally:
@@ -161,6 +178,7 @@ async def run_smoke(
         scrapes=scrapes,
         exit_codes=exit_codes,
         problems=problems,
+        resources=resources,
     )
 
 

@@ -117,8 +117,13 @@ class OracleNode(Node):
         sim: Simulator,
         network: Network,
         oracle: QuorumOracle,
+        node_id: Optional[NodeId] = None,
     ) -> None:
-        super().__init__(sim, network, NodeId.singleton(NodeKind.ORACLE))
+        # One oracle per shard in sharded deployments; the singleton id
+        # is only the single-ring default.
+        super().__init__(
+            sim, network, node_id or NodeId.singleton(NodeKind.ORACLE)
+        )
         self.oracle = oracle
         self.register_handler(NewStats, self._on_new_stats)
         self.register_handler(TailStats, self._on_tail_stats)

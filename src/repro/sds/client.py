@@ -82,6 +82,18 @@ class OperationSpec(Protocol):
     value: bytes
 
 
+class ProxySelector(Protocol):
+    """The client's routing seam: which proxy serves this object?
+
+    A sharded fleet plugs a :class:`~repro.shard.router.ShardRouter` in
+    here; the default (no router) keeps the historical static binding to
+    one proxy.
+    """
+
+    def route(self, object_id: str) -> NodeId:
+        ...  # pragma: no cover - protocol definition
+
+
 @dataclass(frozen=True)
 class OperationRecord:
     """Client-observed history of one operation.
@@ -120,6 +132,7 @@ class ClientNode(Node):
         obs: Optional[Observability] = None,
         pipeline_depth: int = 1,
         injection_rate: float = 0.0,
+        router: Optional[ProxySelector] = None,
     ) -> None:
         # Validate before registering the node: a half-constructed
         # client must not claim its id on the network.
@@ -129,6 +142,7 @@ class ClientNode(Node):
             raise ValueError("injection_rate must be >= 0")
         super().__init__(sim, network, node_id)
         self._proxy_id = proxy_id
+        self._router = router
         self._workload = workload
         self._rng = rng
         self._log = log
@@ -339,6 +353,15 @@ class ClientNode(Node):
         policy = self._policy
         obs = self._obs
         request_id = next(self._request_seq)
+        # Route once per LOGICAL operation, not per attempt: every retry
+        # must reach the same proxy so its write-stamp replay recognises
+        # the resubmission (a different proxy would mint a fresh stamp
+        # and reorder the old value above intervening writes).
+        target = (
+            self._proxy_id
+            if self._router is None
+            else self._router.route(str(operation.object_id))
+        )
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.operation_retries += 1
@@ -365,7 +388,7 @@ class ClientNode(Node):
                     request_id=request_id,
                 )
                 trace = attempt_span.context()
-            future = self._issue(operation, request_id, trace=trace)
+            future = self._issue(operation, request_id, target, trace=trace)
             yield any_of(
                 self.sim,
                 [future, self.sim.sleep(policy.attempt_timeout)],
@@ -407,6 +430,7 @@ class ClientNode(Node):
         self,
         operation: OperationSpec,
         request_id: int,
+        target: NodeId,
         trace: Optional[Tuple[int, int]] = None,
     ) -> Future:
         reply_future = self.sim.future(name=f"{self.node_id}.req{request_id}")
@@ -414,7 +438,7 @@ class ClientNode(Node):
         self.operations_issued += 1
         if operation.op_type is OpType.WRITE:
             self.send(
-                self._proxy_id,
+                target,
                 ClientWrite(
                     object_id=operation.object_id,
                     value=operation.value,
@@ -426,7 +450,7 @@ class ClientNode(Node):
             )
         else:
             self.send(
-                self._proxy_id,
+                target,
                 ClientRead(
                     object_id=operation.object_id, request_id=request_id
                 ),

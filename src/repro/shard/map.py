@@ -1,0 +1,80 @@
+"""The keyspace partition: a consistent-hash map from object id to shard.
+
+Every component that needs to know which shard owns a key — the client
+router, the loadgen's per-shard history partitioner, the sim-level
+sharded cluster — derives the answer from the same :class:`ShardMap`,
+the same way every process derives placement from the same
+:class:`~repro.sds.ring.PlacementRing`.  The map reuses the ring's
+MD5-based ``_hash64`` so shard assignment is deterministic across
+processes and Python hash seeds.
+
+A consistent-hash ring (rather than ``hash(key) % S``) keeps the
+partition stable under shard-count changes: growing from S to S+1 shards
+moves only ~1/(S+1) of the keyspace, which is what makes future shard
+splitting an incremental migration instead of a full reshuffle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ObjectId
+from repro.sds.ring import _hash64
+
+
+class ShardMap:
+    """Immutable consistent-hash partition of the keyspace over shards."""
+
+    def __init__(self, shard_names: Sequence[str], vnodes: int = 128) -> None:
+        names = list(shard_names)
+        if not names:
+            raise ConfigurationError("shard map needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate shard names in shard map")
+        if any(not name for name in names):
+            raise ConfigurationError("shard names must be non-empty")
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        self._names: Tuple[str, ...] = tuple(names)
+        self._index_by_name: Dict[str, int] = {
+            name: index for index, name in enumerate(names)
+        }
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for point in range(vnodes):
+                points.append((_hash64(f"shard:{name}#{point}"), name))
+        points.sort()
+        self._positions = [position for position, _name in points]
+        self._owners = [name for _position, name in points]
+
+    @property
+    def shard_names(self) -> Tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def shard_of(self, object_id: ObjectId) -> str:
+        """The shard owning ``object_id`` (clockwise successor walk)."""
+        at = bisect.bisect_right(self._positions, _hash64(object_id))
+        return self._owners[at % len(self._owners)]
+
+    def index_of(self, object_id: ObjectId) -> int:
+        """The owning shard's index in :attr:`shard_names`."""
+        return self._index_by_name[self.shard_of(object_id)]
+
+    def partition(
+        self, object_ids: Sequence[ObjectId]
+    ) -> Dict[str, List[ObjectId]]:
+        """Group object ids by owning shard (every shard gets an entry)."""
+        groups: Dict[str, List[ObjectId]] = {
+            name: [] for name in self._names
+        }
+        for object_id in object_ids:
+            groups[self.shard_of(object_id)].append(object_id)
+        return groups
+
+
+__all__ = ["ShardMap"]

@@ -5,10 +5,11 @@ from __future__ import annotations
 import asyncio
 import subprocess
 import sys
+import time
 
 import pytest
 
-from repro.net.cluster import LocalCluster, NodeProcess
+from repro.net.cluster import LocalCluster, NodeProcess, proc_stats
 from repro.net.spec import build_spec
 
 
@@ -128,3 +129,69 @@ class TestRealProcessSupervision:
         finally:
             cluster.kill()
             worker.process.wait()
+
+
+class TestProcStats:
+    """Per-worker RSS/CPU sampling from /proc (live-health satellite)."""
+
+    def test_own_process_reports_positive_rss_and_cpu(self) -> None:
+        import os
+
+        stats = proc_stats(os.getpid())
+        assert stats is not None
+        assert stats["rss_bytes"] > 1024 * 1024  # >1MB: we run Python
+        assert stats["cpu_seconds"] >= 0.0
+
+    def test_comm_with_spaces_and_parens_is_parsed(self) -> None:
+        """/proc stat's comm field may contain ") " itself; the parser
+        must split on the LAST close-paren."""
+        process = subprocess.Popen(
+            [sys.executable, "-c",
+             "import ctypes, time;"
+             "ctypes.CDLL(None).prctl(15, b'evil) 1 2', 0, 0, 0);"
+             "time.sleep(60)"]
+        )
+        try:
+            stats = proc_stats(process.pid)
+            for _ in range(50):
+                if stats is not None and stats["rss_bytes"]:
+                    break
+                time.sleep(0.02)
+                stats = proc_stats(process.pid)
+            assert stats is not None
+            assert stats["rss_bytes"] > 0
+        finally:
+            process.kill()
+            process.wait()
+
+    def test_dead_pid_returns_none(self) -> None:
+        process = subprocess.Popen([sys.executable, "-c", "pass"])
+        process.wait()
+        assert proc_stats(process.pid) is None
+
+    def test_worker_resources_follow_liveness(self, tmp_path) -> None:
+        cluster = LocalCluster(
+            build_spec(replicas=5, proxies=1, seed=1),
+            workdir=str(tmp_path),
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(600)"]
+        )
+        worker = NodeProcess(cluster.spec.replicas[0], process)
+        cluster.workers.append(worker)
+        try:
+            # A just-forked child can report rss=0 until exec lands.
+            deadline = 50
+            live = worker.resources()
+            while live is not None and not live["rss_bytes"] and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+                live = worker.resources()
+            assert live is not None and live["rss_bytes"] > 0
+            entry = asyncio.run(cluster.health())[worker.name]
+            assert entry["resources"] == pytest.approx(live, rel=0.5)
+            assert "rss=" in cluster.describe()
+        finally:
+            cluster.kill()
+            process.wait()
+        assert worker.resources() is None

@@ -1,0 +1,221 @@
+"""Aggregate loadgen reporting: histograms merge, percentiles don't.
+
+The pinning test encodes the exact failure the old reporting had: a fast
+phase and a slow phase whose *averaged* p99s land nowhere near the p99
+of the combined distribution.  Merging the histograms (bucket counts
+add) reproduces the union's percentiles exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.net.loadgen import (
+    LoadgenResult,
+    PhaseResult,
+    ShardOutcome,
+    merged_latency_summary,
+)
+from repro.net.scaleout import ScaleoutReport, available_cores
+from repro.obs.metrics import Histogram
+
+
+def hist_of(samples) -> Histogram:
+    histogram = Histogram()
+    for value in samples:
+        histogram.observe(value)
+    return histogram
+
+
+FAST = [0.001] * 1000          # a healthy steady-state phase
+SLOW = [0.5] * 20              # a short, degraded phase
+
+
+def phase(name: str, samples, **kwargs) -> PhaseResult:
+    return PhaseResult(
+        name=name,
+        write_quorum=3,
+        duration=1.0,
+        operations=len(samples),
+        ops_per_sec=float(len(samples)),
+        failed=0,
+        retries=0,
+        latencies={"read": {"count": len(samples)}},
+        snapshots={"read": hist_of(samples).snapshot()},
+        **kwargs,
+    )
+
+
+class TestMergedLatencySummary:
+    def test_merge_equals_union_and_averaging_is_pinned_wrong(self) -> None:
+        union = hist_of(FAST + SLOW).snapshot()
+        merged = merged_latency_summary(
+            [hist_of(FAST).snapshot(), hist_of(SLOW).snapshot()]
+        )
+        # The merge IS the union distribution.
+        assert merged["count"] == union.count == 1020
+        assert merged["p99"] == round(union.percentile(0.99), 6)
+        assert merged["mean"] == round(union.mean, 6)
+        assert merged["max"] == union.maximum
+
+        # The wrong-under-averaging case this satellite pins: ~2% of
+        # union samples are slow, so the union p99 sits in the slow
+        # tail, while the average of the two phases' p99s lands in the
+        # no-man's-land between the modes.
+        fast_p99 = hist_of(FAST).percentile(0.99)
+        slow_p99 = hist_of(SLOW).percentile(0.99)
+        averaged = (fast_p99 + slow_p99) / 2
+        assert union.percentile(0.99) > 0.25
+        assert abs(averaged - union.percentile(0.99)) > 0.1
+
+    def test_merge_is_order_independent(self) -> None:
+        forward = merged_latency_summary(
+            [hist_of(FAST).snapshot(), hist_of(SLOW).snapshot()]
+        )
+        backward = merged_latency_summary(
+            [hist_of(SLOW).snapshot(), hist_of(FAST).snapshot()]
+        )
+        assert forward == backward
+
+    def test_empty_snapshots_are_ignored(self) -> None:
+        assert merged_latency_summary([]) == {"count": 0}
+        assert merged_latency_summary([Histogram().snapshot()]) == {
+            "count": 0
+        }
+        live = merged_latency_summary(
+            [Histogram().snapshot(), hist_of(FAST).snapshot()]
+        )
+        assert live["count"] == len(FAST)
+
+
+class TestLoadgenResultAggregate:
+    def make_result(self, **kwargs) -> LoadgenResult:
+        defaults = dict(
+            phases=[phase("fast", FAST), phase("slow", SLOW)],
+            reconfig_seconds=None,
+            history_records=1020,
+            consistency_violations=0,
+            linearizable=True,
+        )
+        defaults.update(kwargs)
+        return LoadgenResult(**defaults)
+
+    def test_aggregate_latencies_merge_across_phases(self) -> None:
+        aggregate = self.make_result().aggregate_latencies()
+        union = hist_of(FAST + SLOW).snapshot()
+        assert aggregate["read"]["count"] == 1020
+        assert aggregate["read"]["p99"] == round(
+            union.percentile(0.99), 6
+        )
+        # No write samples anywhere -> explicit empty summary, and the
+        # "all" roll-up equals the read-only distribution.
+        assert aggregate["write"] == {"count": 0}
+        assert aggregate["all"] == aggregate["read"]
+
+    def test_as_dict_carries_the_aggregate_and_shard_verdicts(self) -> None:
+        result = self.make_result(
+            shard_outcomes=[
+                ShardOutcome("shard-0", 600, 0, True),
+                ShardOutcome("shard-1", 420, 0, True),
+            ]
+        )
+        payload = result.as_dict()
+        assert payload["ok"] is True
+        assert payload["aggregate_latency_s"]["read"]["count"] == 1020
+        assert [s["shard"] for s in payload["shards"]] == [
+            "shard-0", "shard-1",
+        ]
+
+    def test_per_shard_failures_are_problems(self) -> None:
+        result = self.make_result(
+            shard_outcomes=[
+                ShardOutcome("shard-0", 600, 2, False),
+                ShardOutcome("shard-1", 420, 0, None),
+            ]
+        )
+        problems = result.problems()
+        assert any("shard-0: 2 consistency" in p for p in problems)
+        assert any("shard-0: history is not" in p for p in problems)
+        assert any("shard-1: linearizability unverified" in p
+                   for p in problems)
+        assert result.as_dict()["ok"] is False
+
+
+class TestScaleoutReport:
+    def fleet(self) -> LoadgenResult:
+        phases = [
+            phase(
+                name,
+                FAST,
+                shard_operations={"shard-0": 500, "shard-1": 520},
+            )
+            for name in ("pre-reconfig", "reconfig-storm", "post-reconfig")
+        ]
+        return LoadgenResult(
+            phases=phases,
+            reconfig_seconds=0.4,
+            history_records=3060,
+            consistency_violations=0,
+            linearizable=True,
+            shard_outcomes=[
+                ShardOutcome("shard-0", 1500, 0, True),
+                ShardOutcome("shard-1", 1560, 0, True),
+            ],
+        )
+
+    def make_report(self, **kwargs) -> ScaleoutReport:
+        defaults = dict(
+            shards=2,
+            cores=available_cores(),
+            fleet=self.fleet(),
+            single_ring=phase("single-ring", FAST),
+            reconfig_seconds={"shard-0": 0.2, "shard-1": 0.2},
+            route_refreshes=2,
+        )
+        defaults.update(kwargs)
+        return ScaleoutReport(**defaults)
+
+    def test_speedup_and_expected_scaling(self) -> None:
+        report = self.make_report(cores=8)
+        assert report.fleet_ops_per_sec == 1000.0
+        assert report.speedup == 1.0
+        assert report.expected_scaling == 2
+        assert self.make_report(cores=1).expected_scaling == 1
+        assert self.make_report(single_ring=None).speedup is None
+
+    def test_ok_report_has_no_problems(self) -> None:
+        report = self.make_report()
+        assert report.problems() == []
+        payload = report.as_dict()
+        assert payload["ok"] is True
+        assert payload["shards"] == 2
+        assert [s["shard"] for s in payload["shard_outcomes"]] == [
+            "shard-0", "shard-1",
+        ]
+        assert payload["route_refreshes"] == 2
+        assert payload["aggregate_latency_s"]["read"]["count"] == 3000
+        assert "speedup" in payload and "cores" in payload
+
+    def test_incomplete_storm_is_a_problem(self) -> None:
+        report = self.make_report(reconfig_seconds={"shard-0": 0.2})
+        assert any("storm" in p for p in report.problems())
+
+    def test_starved_shard_is_a_problem(self) -> None:
+        fleet = self.fleet()
+        fleet.phases[1].shard_operations["shard-1"] = 0
+        report = self.make_report(fleet=fleet)
+        assert any(
+            "shard shard-1 completed zero operations" in p
+            for p in report.problems()
+        )
+        assert report.as_dict()["ok"] is False
+
+    def test_render_mentions_each_shard(self) -> None:
+        text = self.make_report().render()
+        assert "shard-0" in text and "shard-1" in text
+        assert "speedup" in text
+
+
+def test_available_cores_is_positive() -> None:
+    assert available_cores() >= 1
+    assert available_cores() <= (os.cpu_count() or 1)

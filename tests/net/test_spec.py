@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
+
 import pytest
 
 from repro.common.errors import ConfigurationError
@@ -9,9 +12,12 @@ from repro.common.types import NodeId, QuorumConfig
 from repro.net.cluster import allocate_ports
 from repro.net.spec import (
     ClusterSpec,
+    ShardSpec,
     build_spec,
     parse_node_name,
 )
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
 
 def test_parse_node_name_round_trips() -> None:
@@ -89,3 +95,236 @@ def test_allocate_ports_fills_every_zero_with_distinct_ports() -> None:
 def test_allocate_ports_respects_fixed_ports() -> None:
     spec = build_spec(base_port=42000)
     assert allocate_ports(spec) == spec
+
+
+# -- satellite: versioned spec format ----------------------------------------
+
+
+class TestVersionedFormat:
+    """The spec format is now versioned: version 1 (single ring) must
+    keep round-tripping byte-for-byte, version 2 adds the shard map."""
+
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(path.name for path in FIXTURES.glob("spec_v1_*.json")),
+    )
+    def test_every_pre_shard_fixture_round_trips_byte_identically(
+        self, fixture
+    ) -> None:
+        text = (FIXTURES / fixture).read_text(encoding="utf-8")
+        assert ClusterSpec.from_json(text).to_json() + "\n" == text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"replicas": 5, "proxies": 2, "write_quorum": 4, "seed": 7},
+            {"data_dir": "/tmp/qopt-wal", "seed": 1},
+            {
+                "replicas": 3,
+                "write_quorum": 2,
+                "base_port": 42000,
+                "seed": 3,
+            },
+        ],
+    )
+    def test_build_spec_output_round_trips_byte_identically(
+        self, kwargs
+    ) -> None:
+        text = build_spec(**kwargs).to_json()
+        assert ClusterSpec.from_json(text).to_json() == text
+
+    def test_unsharded_specs_still_serialize_as_version_1(self) -> None:
+        spec = build_spec()
+        assert '"version": 1' in spec.to_json()
+        assert '"shards"' not in spec.to_json()
+
+    def test_sharded_specs_serialize_as_version_2(self) -> None:
+        spec = build_spec(shards=2, replicas=5, proxies=2)
+        text = spec.to_json()
+        assert '"version": 2' in text
+        clone = ClusterSpec.from_json(text)
+        assert clone == spec
+        assert clone.to_json() == text
+
+    def test_version_1_spec_cannot_smuggle_a_shard_map(self) -> None:
+        text = build_spec(shards=2).to_json().replace(
+            '"version": 2', '"version": 1'
+        )
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.from_json(text)
+
+    def test_version_2_spec_requires_a_shard_map(self) -> None:
+        text = build_spec().to_json().replace(
+            '"version": 1', '"version": 2'
+        )
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.from_json(text)
+
+    def test_shard_entry_with_missing_keys_rejected(self) -> None:
+        import json as _json
+
+        raw = _json.loads(build_spec(shards=2).to_json())
+        del raw["shards"][0]["manager"]
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            ClusterSpec.from_json(_json.dumps(raw))
+
+
+# -- sharded topology ---------------------------------------------------------
+
+
+def sharded_spec(**kwargs) -> ClusterSpec:
+    defaults = dict(replicas=5, proxies=2, shards=2, seed=1)
+    defaults.update(kwargs)
+    return build_spec(**defaults)
+
+
+class TestShardTopology:
+    def test_build_spec_shards_scale_the_fleet(self) -> None:
+        spec = sharded_spec(shards=3)
+        assert len(spec.replicas) == 15
+        assert len(spec.proxies) == 6
+        assert [a.name for a in spec.all_managers()] == [
+            f"reconfig-manager-{i}" for i in range(3)
+        ]
+        assert spec.is_sharded()
+        views = spec.shard_views()
+        assert [view.name for view in views] == [
+            "shard-0", "shard-1", "shard-2",
+        ]
+        for index, view in enumerate(views):
+            assert len(view.replicas) == 5
+            assert len(view.proxies) == 2
+            assert view.manager.name == f"reconfig-manager-{index}"
+
+    def test_unsharded_spec_exposes_one_implicit_shard(self) -> None:
+        spec = build_spec(replicas=5, proxies=2)
+        assert not spec.is_sharded()
+        views = spec.shard_views()
+        assert len(views) == 1
+        assert views[0].name == "shard-0"
+        assert views[0].storage_ids() == spec.storage_ids()
+        assert views[0].proxy_ids() == spec.proxy_ids()
+        assert spec.shard_map().shard_names == ("shard-0",)
+
+    def test_shard_write_quorums_arm_each_shard_independently(self) -> None:
+        spec = sharded_spec(shard_write_quorums=[4, 2])
+        views = spec.shard_views()
+        assert views[0].initial_quorum() == QuorumConfig(read=2, write=4)
+        assert views[1].initial_quorum() == QuorumConfig(read=4, write=2)
+        # Shard 0's W doubles as the legacy top-level initial quorum.
+        assert spec.initial_write_quorum == 4
+
+    def test_shard_for_places_every_node_in_exactly_one_shard(self) -> None:
+        spec = sharded_spec()
+        assert spec.shard_for("storage-0").name == "shard-0"
+        assert spec.shard_for("storage-7").name == "shard-1"
+        assert spec.shard_for("proxy-3").name == "shard-1"
+        assert spec.shard_for("reconfig-manager-1").name == "shard-1"
+        with pytest.raises(ConfigurationError):
+            spec.shard_for("storage-99")
+
+    def test_shard_rings_are_disjoint(self) -> None:
+        views = sharded_spec().shard_views()
+        for key in ("obj-1", "alpha", "Ω"):
+            first = set(views[0].ring().replicas(key))
+            second = set(views[1].ring().replicas(key))
+            assert not first & second
+
+    def test_allocate_ports_fills_extra_manager_ports(self) -> None:
+        spec = allocate_ports(sharded_spec())
+        ports = []
+        for address in spec.all_addresses():
+            assert address.port > 0
+            assert address.http_port > 0
+            ports.extend([address.port, address.http_port])
+        assert len(ports) == len(set(ports))
+
+    def test_wrong_quorum_list_length_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            build_spec(shards=3, shard_write_quorums=[4, 2])
+
+
+class TestShardMapValidation:
+    """Every way a shard map can be malformed gets an explicit error."""
+
+    def mutate(self, **changes) -> ClusterSpec:
+        spec = sharded_spec()
+        shards = list(spec.shards)
+        shards[0] = dataclasses.replace(shards[0], **changes)
+        return dataclasses.replace(spec, shards=shards)
+
+    def test_duplicate_shard_names(self) -> None:
+        with pytest.raises(ConfigurationError, match="duplicate shard"):
+            self.mutate(name="shard-1").validate()
+
+    def test_empty_shard_name(self) -> None:
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            self.mutate(name="").validate()
+
+    def test_shard_without_replicas(self) -> None:
+        with pytest.raises(ConfigurationError, match="no replicas"):
+            self.mutate(replicas=()).validate()
+
+    def test_shard_without_proxies(self) -> None:
+        with pytest.raises(ConfigurationError, match="no proxies"):
+            self.mutate(proxies=()).validate()
+
+    def test_unknown_replica_reference(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown replica"):
+            self.mutate(
+                replicas=("storage-0", "storage-999")
+            ).validate()
+
+    def test_replica_assigned_to_two_shards(self) -> None:
+        with pytest.raises(ConfigurationError, match="assigned to both"):
+            self.mutate(
+                replicas=(
+                    "storage-0", "storage-1", "storage-2",
+                    "storage-3", "storage-5",
+                )
+            ).validate()
+
+    def test_replica_left_out_of_every_shard(self) -> None:
+        with pytest.raises(ConfigurationError, match="not in any shard"):
+            self.mutate(
+                replicas=("storage-0", "storage-1", "storage-2", "storage-3"),
+                replication_degree=4,
+                write_quorum=3,
+            ).validate()
+
+    def test_unknown_proxy_reference(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown proxy"):
+            self.mutate(proxies=("proxy-0", "proxy-999")).validate()
+
+    def test_unknown_manager_reference(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown manager"):
+            self.mutate(manager="reconfig-manager-9").validate()
+
+    def test_manager_shared_between_shards(self) -> None:
+        with pytest.raises(ConfigurationError, match="assigned to both"):
+            self.mutate(manager="reconfig-manager-1").validate()
+
+    def test_shard_degree_exceeding_its_replicas(self) -> None:
+        with pytest.raises(ConfigurationError, match="replication degree"):
+            self.mutate(replication_degree=6).validate()
+
+    def test_non_strict_shard_quorum(self) -> None:
+        with pytest.raises(ConfigurationError):
+            self.mutate(write_quorum=9).validate()
+
+    def test_extra_managers_without_shard_map(self) -> None:
+        spec = sharded_spec()
+        with pytest.raises(ConfigurationError, match="shard map"):
+            dataclasses.replace(spec, shards=[]).validate()
+
+    def test_shard_spec_initial_quorum(self) -> None:
+        shard = ShardSpec(
+            name="s",
+            replicas=("storage-0",),
+            proxies=("proxy-0",),
+            manager="reconfig-manager-0",
+            write_quorum=3,
+            replication_degree=5,
+        )
+        assert shard.initial_quorum() == QuorumConfig(read=3, write=3)

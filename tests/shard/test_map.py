@@ -1,0 +1,88 @@
+"""ShardMap: deterministic, balanced, stable keyspace partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.shard.map import ShardMap
+
+NAMES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+KEYS = [f"obj-{i}" for i in range(1000)]
+
+
+def test_same_names_same_assignment_across_instances() -> None:
+    """Every process derives the same partition from the same names —
+    the property routing, history partitioning and the sim all rely on."""
+    first = ShardMap(NAMES)
+    second = ShardMap(list(NAMES))
+    for key in KEYS:
+        assert first.shard_of(key) == second.shard_of(key)
+        assert first.index_of(key) == second.index_of(key)
+
+
+def test_assignment_is_hash_based_not_name_order_based() -> None:
+    """Reordering shard names must not move keys: assignment follows the
+    hash ring, so only index_of (positional) changes."""
+    forward = ShardMap(NAMES)
+    backward = ShardMap(list(reversed(NAMES)))
+    for key in KEYS:
+        assert forward.shard_of(key) == backward.shard_of(key)
+
+
+def test_partition_covers_every_key_exactly_once() -> None:
+    shard_map = ShardMap(NAMES)
+    groups = shard_map.partition(KEYS)
+    assert sorted(groups) == sorted(NAMES)
+    scattered = [key for keys in groups.values() for key in keys]
+    assert sorted(scattered) == sorted(KEYS)
+    for name, keys in groups.items():
+        assert all(shard_map.shard_of(key) == name for key in keys)
+
+
+def test_partition_is_reasonably_balanced() -> None:
+    """128 vnodes per shard keeps the split far from degenerate."""
+    groups = ShardMap(NAMES).partition(KEYS)
+    for name, keys in groups.items():
+        share = len(keys) / len(KEYS)
+        assert 0.10 <= share <= 0.45, f"{name} owns {share:.0%}"
+
+
+def test_growing_the_map_moves_only_a_minority_of_keys() -> None:
+    """Consistent hashing: S -> S+1 shards relocates ~1/(S+1) of keys,
+    not a full reshuffle — the property that makes future shard splits
+    incremental."""
+    before = ShardMap(NAMES)
+    after = ShardMap(NAMES + ["shard-4"])
+    moved = sum(
+        1 for key in KEYS if before.shard_of(key) != after.shard_of(key)
+    )
+    assert 0 < moved < len(KEYS) * 0.40
+    # Every moved key lands on the new shard, never between old shards.
+    for key in KEYS:
+        if before.shard_of(key) != after.shard_of(key):
+            assert after.shard_of(key) == "shard-4"
+
+
+def test_len_and_index_of_agree_with_name_order() -> None:
+    shard_map = ShardMap(NAMES)
+    assert len(shard_map) == 4
+    assert shard_map.shard_names == tuple(NAMES)
+    for key in KEYS[:50]:
+        assert (
+            NAMES[shard_map.index_of(key)] == shard_map.shard_of(key)
+        )
+
+
+@pytest.mark.parametrize(
+    "names, vnodes",
+    [
+        ([], 128),
+        (["a", "a"], 128),
+        (["a", ""], 128),
+        (["a"], 0),
+    ],
+)
+def test_malformed_maps_rejected(names, vnodes) -> None:
+    with pytest.raises(ConfigurationError):
+        ShardMap(names, vnodes=vnodes)
