@@ -75,10 +75,17 @@ class StorageConfig:
     #: peer replicas that may have missed the foreground write quorum.
     #: 0 disables background replication.
     replication_interval: float = 1.0
+    #: Longest per-object read lease a primary replica will grant,
+    #: seconds.  Requested durations are clamped to this, bounding how
+    #: long a partitioned leaseholder can keep serving local reads
+    #: (invariant I7).
+    max_lease_duration: float = 5.0
 
     def validate(self) -> "StorageConfig":
         if self.replication_interval < 0:
             raise ConfigurationError("replication_interval must be >= 0")
+        if self.max_lease_duration < 0:
+            raise ConfigurationError("max_lease_duration must be >= 0")
         if min(self.read_service_time, self.write_service_time) < 0:
             raise ConfigurationError("service times must be >= 0")
         if min(self.read_bandwidth, self.write_bandwidth) <= 0:
@@ -122,6 +129,22 @@ class ProxyConfig:
     #: proxy retries against the next ring rotation (a different replica
     #: preference order), then surfaces ``GatherTimeoutError``.
     max_gather_attempts: int = 3
+    #: Per-object read-lease duration requested from primaries, seconds.
+    #: 0 (the default) disables the lease subsystem entirely.  This is
+    #: the *static* feature flag and must be uniform across a fleet:
+    #: enabling it also makes every write quorum include the object's
+    #: primary replica, which is what makes single-replica lease reads
+    #: safe (invariant I7).  A per-proxy runtime toggle
+    #: (``ProxyNode.set_lease_reads``) additionally controls whether the
+    #: proxy *uses* leases on its read path; that side is safe to flip
+    #: per proxy because the write-side rule stays on.
+    lease_duration: float = 0.0
+    #: Assumed upper bound on clock skew between a proxy and a primary
+    #: replica, seconds.  The proxy treats a held lease as expired this
+    #: much *early*; the check is an advisory optimization (the primary
+    #: validates grants authoritatively), so skew beyond the bound costs
+    #: a fallback round trip, never consistency.
+    lease_skew_bound: float = 0.01
 
     def validate(self) -> "ProxyConfig":
         if self.per_replica_cpu < 0:
@@ -137,6 +160,15 @@ class ProxyConfig:
             )
         if self.max_gather_attempts < 1:
             raise ConfigurationError("max_gather_attempts must be >= 1")
+        if self.lease_duration < 0:
+            raise ConfigurationError("lease_duration must be >= 0")
+        if self.lease_skew_bound < 0:
+            raise ConfigurationError("lease_skew_bound must be >= 0")
+        if 0 < self.lease_duration <= self.lease_skew_bound:
+            raise ConfigurationError(
+                "lease_duration must exceed lease_skew_bound "
+                f"({self.lease_duration} <= {self.lease_skew_bound})"
+            )
         return self
 
     def operation_deadline(self) -> float:

@@ -30,6 +30,14 @@ def _spec_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--lease-duration", type=float, default=0.0,
+        help=(
+            "per-object read lease duration in seconds; > 0 enables "
+            "leases cluster-wide: writes require the primary's ack and "
+            "proxies may serve reads from it alone (default 0 = off)"
+        ),
+    )
+    parser.add_argument(
         "--shards", type=int, default=1,
         help=(
             "independent shards; --replicas/--proxies are per shard "
@@ -103,6 +111,7 @@ def cmd_cluster(argv: Sequence[str]) -> int:
         write_quorum=args.write_quorum,
         seed=args.seed,
         shards=args.shards,
+        lease_duration=args.lease_duration,
     )
 
     async def _run() -> int:
@@ -187,6 +196,21 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
             "below 70%% of its baseline ops/sec"
         ),
     )
+    parser.add_argument(
+        "--lease-compare", action="store_true",
+        help=(
+            "A/B the per-object lease fast path: one phase with lease "
+            "reads off, one with them on, same W (cluster must have "
+            "been booted with --lease-duration > 0)"
+        ),
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help=(
+            "with --lease-compare: fail unless leased ops/sec reaches "
+            "this multiple of the quorum phase (0 = report only)"
+        ),
+    )
     args = parser.parse_args(list(argv))
     if args.shards >= 2:
         return _run_scaleout_command(args)
@@ -196,42 +220,95 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
     phases: List[int] = args.phases or [4, 2]
     output = args.output or "BENCH_net.json"
 
-    from repro.net.loadgen import check_baseline, run_bench, write_report
+    from repro.net.loadgen import (
+        check_baseline,
+        lease_speedup,
+        run_bench,
+        run_lease_bench,
+        write_report,
+    )
 
-    result = asyncio.run(
-        run_bench(
-            spec,
-            phases=phases,
-            duration=args.duration,
-            clients=args.clients,
-            workload=args.workload,
-            object_size=args.object_size,
-            objects=args.objects,
-            seed=args.seed,
-            pipeline_depth=args.depth,
-            injection_rate=args.rate,
+    extra = {
+        "workload": args.workload,
+        "clients": args.clients,
+        "object_size": args.object_size,
+        "objects": args.objects,
+        "seed": args.seed,
+        "pipeline_depth": args.depth,
+        "injection_rate": args.rate,
+    }
+    lease_problems: List[str] = []
+    if args.lease_compare:
+        result, counters = asyncio.run(
+            run_lease_bench(
+                spec,
+                duration=args.duration,
+                clients=args.clients,
+                workload=args.workload,
+                object_size=args.object_size,
+                objects=args.objects,
+                seed=args.seed,
+                pipeline_depth=args.depth,
+                injection_rate=args.rate,
+            )
         )
-    )
-    write_report(
-        result,
-        output,
-        extra={
-            "workload": args.workload,
-            "clients": args.clients,
-            "object_size": args.object_size,
-            "objects": args.objects,
-            "seed": args.seed,
-            "pipeline_depth": args.depth,
-            "injection_rate": args.rate,
-        },
-    )
+        speedup = lease_speedup(result)
+        extra["lease_compare"] = True
+        extra["lease_counters"] = {
+            name: round(value, 1)
+            for name, value in sorted(counters.items())
+        }
+        extra["lease_speedup"] = (
+            None if speedup is None else round(speedup, 3)
+        )
+        if args.min_speedup > 0 and (
+            speedup is None or speedup < args.min_speedup
+        ):
+            lease_problems.append(
+                f"lease speedup {speedup or 0.0:.2f}x is below the "
+                f"required {args.min_speedup:.2f}x"
+            )
+    else:
+        result = asyncio.run(
+            run_bench(
+                spec,
+                phases=phases,
+                duration=args.duration,
+                clients=args.clients,
+                workload=args.workload,
+                object_size=args.object_size,
+                objects=args.objects,
+                seed=args.seed,
+                pipeline_depth=args.depth,
+                injection_rate=args.rate,
+            )
+        )
+    write_report(result, output, extra=extra)
     for phase in result.phases:
+        reads, writes = phase.latencies["read"], phase.latencies["write"]
         print(
             f"{phase.name}: {phase.operations} ops "
             f"({phase.ops_per_sec:.0f}/s), "
-            f"read p99 {phase.latencies['read'].get('p99', 0.0):.4f}s, "
-            f"write p99 {phase.latencies['write'].get('p99', 0.0):.4f}s, "
+            f"read p50 {reads.get('p50', 0.0):.4f}s "
+            f"p99 {reads.get('p99', 0.0):.4f}s, "
+            f"write p50 {writes.get('p50', 0.0):.4f}s "
+            f"p99 {writes.get('p99', 0.0):.4f}s, "
             f"{phase.failed} failed"
+        )
+    if args.lease_compare:
+        speedup_text = (
+            "n/a" if extra["lease_speedup"] is None
+            else f"{extra['lease_speedup']:.2f}x"
+        )
+        hits = extra["lease_counters"].get(
+            "qopt_lease_read_hits_total", 0.0
+        )
+        misses = extra["lease_counters"].get(
+            "qopt_lease_read_misses_total", 0.0
+        )
+        print(
+            f"lease speedup: {speedup_text} "
+            f"(fast-path hits {hits:.0f}, misses {misses:.0f})"
         )
     print(
         f"history: {result.history_records} records, "
@@ -249,7 +326,7 @@ def cmd_loadgen(argv: Sequence[str]) -> int:
     # The exit code mirrors the report's ok field exactly, so CI cannot
     # pass a run whose JSON says it failed (or whose linearizability
     # check never finished).
-    problems = result.problems() + failures
+    problems = result.problems() + failures + lease_problems
     for problem in problems:
         print(f"FAIL: {problem}")
     return 1 if problems else 0

@@ -129,6 +129,12 @@ WIRE_TYPES: Tuple[type, ...] = (
     # Storage <-> storage recovery (appended: codes are positional).
     messages.SyncRequest,
     messages.SyncReply,
+    # Per-object read leases (appended: codes are positional).
+    messages.LeaseRequest,
+    messages.LeaseGrant,
+    messages.LeaseRead,
+    messages.LeaseReadReply,
+    messages.LeaseNack,
 )
 
 _CODE_BY_TYPE = {cls: code for code, cls in enumerate(WIRE_TYPES)}

@@ -63,6 +63,13 @@ class RealtimeKernel(Simulator):
         Called at every event dispatch; external coroutines that read
         ``kernel.now`` directly may call it first for a fresh value.  The
         clamp keeps ``now`` monotonic even if the wall clock steps back.
+
+        The lease grant table (invariant I7) leans on this monotonicity:
+        ``StorageNode`` compares grant expiries against ``now``, so a
+        backwards wall-clock step can never resurrect an expired grant —
+        it only stretches live ones, which is a liveness (not safety)
+        effect because the primary re-validates every lease read on this
+        same clock.
         """
         self.now = max(self.now, time.time())
         return self.now

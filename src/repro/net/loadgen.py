@@ -472,6 +472,50 @@ class LoadGenerator:
         self._phases.append(result)
         return result
 
+    # -- per-object read leases ----------------------------------------------
+
+    async def set_leases(self, enabled: bool) -> None:
+        """Toggle the lease-read fast path on every proxy.
+
+        Only the read side toggles: the mandatory-primary *write* rule
+        is static cluster config, so flipping this mid-run is always
+        safe — it changes which path reads take, never what writes
+        guarantee.
+        """
+        flag = "1" if enabled else "0"
+        for address in self.spec.proxies:
+            status, body = await http_get(
+                address.host,
+                address.http_port,
+                f"/leases?enable={flag}",
+                timeout=10.0,
+            )
+            if status != 200:
+                raise RuntimeError(
+                    f"lease toggle on {address.name} failed: "
+                    f"{status} {body!r}"
+                )
+
+    async def scrape_lease_counters(self) -> Dict[str, float]:
+        """Sum the lease gauges across the fleet's ``/metrics`` pages."""
+        pattern = re.compile(
+            r"^(qopt_lease[a-z_]*|qopt_leases[a-z_]*)\{[^}]*\}\s+"
+            r"([0-9.eE+-]+)$"
+        )
+        totals: Dict[str, float] = {}
+        for address in self.spec.all_addresses():
+            status, body = await http_get(
+                address.host, address.http_port, "/metrics", timeout=10.0
+            )
+            if status != 200:
+                continue
+            for line in body.splitlines():
+                match = pattern.match(line.strip())
+                if match:
+                    name, value = match.group(1), float(match.group(2))
+                    totals[name] = totals.get(name, 0.0) + value
+        return totals
+
     # -- reconfiguration -----------------------------------------------------
 
     async def reconfigure(
@@ -679,6 +723,74 @@ async def run_bench(
         await generator.stop()
 
 
+async def run_lease_bench(
+    spec: ClusterSpec,
+    duration: float = 5.0,
+    clients: int = 8,
+    workload: str = "b",
+    object_size: int = 4096,
+    objects: int = 64,
+    seed: int = 1,
+    pipeline_depth: int = 1,
+    injection_rate: float = 0.0,
+) -> tuple[LoadgenResult, Dict[str, float]]:
+    """A/B the lease fast path on one live cluster, same W throughout.
+
+    Phase 1 (``<workload>/quorum``) runs with lease reads toggled off on
+    every proxy — the pure quorum path under the mandatory-primary write
+    rule.  Phase 2 (``<workload>/leased``) toggles them back on.  Both
+    phases share the cross-phase history, so the combined run is
+    Wing-Gong-checked like any other bench.  Returns the result plus the
+    fleet-summed lease counters (hits/misses/grants/breaks), which the
+    report embeds so a "2x speedup" claim can be audited against an
+    actual lease hit rate.
+    """
+    generator = LoadGenerator(
+        spec,
+        clients=clients,
+        workload=workload,
+        object_size=object_size,
+        objects=objects,
+        seed=seed,
+        pipeline_depth=pipeline_depth,
+        injection_rate=injection_rate,
+    )
+    label = workload.upper()
+    await generator.start()
+    try:
+        await generator.wait_cluster_healthy()
+        write_quorum = spec.initial_write_quorum
+        await generator.set_leases(False)
+        await generator.run_phase(
+            name=f"{label}/quorum",
+            duration=duration,
+            write_quorum=write_quorum,
+        )
+        await generator.set_leases(True)
+        await generator.run_phase(
+            name=f"{label}/leased",
+            duration=duration,
+            write_quorum=write_quorum,
+        )
+        counters = await generator.scrape_lease_counters()
+        return generator.result(None), counters
+    finally:
+        await generator.stop()
+
+
+def lease_speedup(result: LoadgenResult) -> Optional[float]:
+    """ops/s ratio of the ``*/leased`` phase over the ``*/quorum`` phase."""
+    quorum = leased = None
+    for phase in result.phases:
+        if phase.name.endswith("/quorum"):
+            quorum = phase.ops_per_sec
+        elif phase.name.endswith("/leased"):
+            leased = phase.ops_per_sec
+    if not quorum or leased is None:
+        return None
+    return leased / quorum
+
+
 def write_report(result: LoadgenResult, path: str, extra: dict) -> None:
     """Write ``BENCH_net.json``-style output."""
     payload = dict(extra)
@@ -728,7 +840,9 @@ __all__ = [
     "PhaseResult",
     "ShardOutcome",
     "check_baseline",
+    "lease_speedup",
     "merged_latency_summary",
     "run_bench",
+    "run_lease_bench",
     "write_report",
 ]

@@ -168,6 +168,8 @@ class NodeRuntime:
         }
         if isinstance(self.node, ReconfigurationManager):
             routes["/reconfig"] = self._handle_reconfig
+        if isinstance(self.node, ProxyNode):
+            routes["/leases"] = self._handle_leases
         return routes
 
     async def _handle_metrics(
@@ -207,7 +209,44 @@ class NodeRuntime:
             help="unhandled process crashes", shard=shard, node=node,
         ).set(float(len(self.kernel.crashes)))
         node_obj = self.node
+        if isinstance(node_obj, ProxyNode):
+            registry.gauge(
+                "qopt_lease_read_hits_total",
+                help="reads served on the one-replica lease path",
+                shard=shard, node=node,
+            ).set(float(node_obj.lease_read_hits))
+            registry.gauge(
+                "qopt_lease_read_misses_total",
+                help="lease fast-path attempts that fell back to quorum",
+                shard=shard, node=node,
+            ).set(float(node_obj.lease_read_misses))
+            registry.gauge(
+                "qopt_leases_acquired_total",
+                help="lease grants installed", shard=shard, node=node,
+            ).set(float(node_obj.leases_acquired))
+            registry.gauge(
+                "qopt_leases_held",
+                help="objects currently leased by this proxy",
+                shard=shard, node=node,
+            ).set(float(node_obj.leases_held()))
         if isinstance(node_obj, StorageNode):
+            registry.gauge(
+                "qopt_leases_granted_total",
+                help="lease grants issued as primary", shard=shard, node=node,
+            ).set(float(node_obj.leases_granted))
+            registry.gauge(
+                "qopt_leases_broken_total",
+                help="grants invalidated by writes or epoch change",
+                shard=shard, node=node,
+            ).set(float(node_obj.leases_broken))
+            registry.gauge(
+                "qopt_lease_reads_served_total",
+                help="lease reads served as primary", shard=shard, node=node,
+            ).set(float(node_obj.lease_reads_served))
+            registry.gauge(
+                "qopt_lease_nacks_total",
+                help="lease requests/reads refused", shard=shard, node=node,
+            ).set(float(node_obj.lease_nacks_sent))
             registry.gauge(
                 "qopt_replica_quarantined",
                 help="1 while read-excluded pending I6 catch-up", shard=shard, node=node,
@@ -268,6 +307,20 @@ class NodeRuntime:
         del query
         self.request_shutdown()
         return 200, "text/plain", "shutting down\n"
+
+    async def _handle_leases(
+        self, query: Dict[str, str]
+    ) -> Tuple[int, str, str]:
+        proxy = self.node
+        assert isinstance(proxy, ProxyNode)
+        raw = query.get("enable")
+        if raw not in ("0", "1"):
+            return 400, "text/plain", "need ?enable=0|1\n"
+        proxy.set_lease_reads(raw == "1")
+        return 200, "text/plain", (
+            f"lease reads {'enabled' if raw == '1' else 'disabled'} "
+            f"on {self.node_id}\n"
+        )
 
     async def _handle_reconfig(
         self, query: Dict[str, str]

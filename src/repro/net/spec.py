@@ -20,7 +20,7 @@ consumer keeps working unchanged.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ClientConfig, ProxyConfig, StorageConfig
@@ -526,6 +526,7 @@ def build_spec(
     data_dir: Optional[str] = None,
     shards: int = 1,
     shard_write_quorums: Optional[Sequence[int]] = None,
+    lease_duration: float = 0.0,
 ) -> ClusterSpec:
     """Construct a spec for a local cluster or sharded fleet.
 
@@ -540,6 +541,12 @@ def build_spec(
     one shard about to shrink W and another about to grow it).
     ``shards=1`` (the default) emits the pre-shard version-1 spec,
     byte-for-byte.
+
+    ``lease_duration > 0`` enables per-object read leases (invariant
+    I7) cluster-wide: every proxy spawned from the spec applies the
+    mandatory-primary write rule and may serve lease reads.  The flag
+    lives in the spec — not per process — because a fleet with mixed
+    write rules would be unsound.
     """
     if shards < 1:
         raise ConfigurationError("shards must be >= 1")
@@ -603,9 +610,13 @@ def build_spec(
                     replication_degree=degree,
                 )
             )
+    proxy_config = live_proxy_config()
+    if lease_duration > 0:
+        proxy_config = replace(proxy_config, lease_duration=lease_duration)
     return ClusterSpec(
         replicas=replica_addresses,
         proxies=proxy_addresses,
+        proxy=proxy_config,
         manager=manager_addresses[0],
         replication_degree=degree,
         initial_write_quorum=(

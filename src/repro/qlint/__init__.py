@@ -10,7 +10,7 @@ Four analyzer families over the ``repro`` source tree:
   ``QuorumPlan`` that can reach the data plane must pass through
   ``validate_strict`` (R + W > N, max(R, W) <= N), and statically
   decidable violations are reported at lint time.
-* **Concurrency analyzer** (QC001-QC003): CFG-based interleaving checks
+* **Concurrency analyzer** (QC001-QC004): CFG-based interleaving checks
   across suspension points (``await`` / simulator ``yield``) —
   check-then-act races, shared-container iteration, and stale
   epoch/cfg/plan/ring captures.

@@ -1,4 +1,4 @@
-"""Concurrency linters (rules QC001-QC003).
+"""Concurrency linters (rules QC001-QC004).
 
 Q-OPT's proxies, replicas, and reconfiguration managers are cooperative
 coroutines: simulator processes (generators yielding waitables) and the
@@ -28,6 +28,15 @@ QC003  stale-captured-protocol-value
     sent without re-validating — the fencing decision is stale by the
     time it is acted on (paper Sec. 5.3: replicas must not serve
     operations from superseded epochs).
+
+QC004  stale-captured-lease-value
+    The lease analogue of QC003 form (a): a local captured from lease
+    state on ``self`` (grant tables, held leases, expiry deadlines) is
+    used after a suspension point without re-reading it.  Leases are
+    invalidated *between* handler steps — by a foreign write, an epoch
+    change, or plain expiry — so a grant or expiry captured before a
+    suspension says nothing about validity after it (invariant I7:
+    the primary must re-validate the grant after every wait).
 
 Suspension points are ``await`` expressions and — in classified
 *protocol coroutines* (see :func:`repro.qlint.astutils.classify_coroutines`)
@@ -86,6 +95,12 @@ _PROTOCOL_TOKENS = frozenset(
 
 #: QC003 form (b) only tracks the fenced counters themselves.
 _FENCE_TOKENS = frozenset({"epoch", "cfg"})
+
+#: Identifier tokens that mark per-object lease state (QC004).  A grant
+#: table, a held lease, or an expiry deadline captured before a
+#: suspension is stale after it: writes and epoch changes revoke leases
+#: between handler steps.
+_LEASE_TOKENS = frozenset({"lease", "leases", "expiry", "grant", "grants"})
 
 # Dataflow lattice values (join = max).
 _ABSENT, _GUARDED, _STALE = 0, 1, 2
@@ -178,6 +193,7 @@ class _NodeFacts:
         self.fence_guards: set[str] = set()
         self.sends: list[ast.AST] = []
         self.capture_assigns: list[tuple[str, ast.AST]] = []  # (name, node)
+        self.lease_capture_assigns: list[tuple[str, ast.AST]] = []
         self.kills: set[str] = set()
         self.uses: list[tuple[str, ast.AST]] = []  # (name, node)
 
@@ -191,9 +207,9 @@ _EmitFn = Callable[
 
 
 class ConcurrencyLinter:
-    """CFG-based interleaving checks for one file (QC001-QC003)."""
+    """CFG-based interleaving checks for one file (QC001-QC004)."""
 
-    rules = ("QC001", "QC002", "QC003")
+    rules = ("QC001", "QC002", "QC003", "QC004")
 
     def run(self, source: SourceFile) -> list[Finding]:
         findings: list[Finding] = []
@@ -259,6 +275,17 @@ class ConcurrencyLinter:
                 preds,
                 self._capture_transfer,
                 self._capture_emit,
+            )
+        )
+        findings.extend(
+            self._dataflow(
+                source,
+                symbol,
+                cfg,
+                facts,
+                preds,
+                self._lease_transfer,
+                self._lease_emit,
             )
         )
         self._ever_guarded = frozenset(
@@ -407,9 +434,17 @@ class ConcurrencyLinter:
         if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
             target = stmt.targets[0]
             if isinstance(target, ast.Name):
-                if self._captures_protocol_value(stmt.value):
+                # A name can capture protocol state, lease state, both
+                # (e.g. an epoch-stamped grant), or neither.  Each
+                # capture pass re-kills names claimed only by the other
+                # kind, so the classification here just records both.
+                protocol = self._captures_protocol_value(stmt.value)
+                lease = self._captures_lease_value(stmt.value)
+                if protocol:
                     facts.capture_assigns.append((target.id, target))
-                else:
+                if lease:
+                    facts.lease_capture_assigns.append((target.id, target))
+                if not (protocol or lease):
                     facts.kills.add(target.id)
                 return
         # Every other binding of a plain name kills tracking for it.
@@ -430,6 +465,17 @@ class ConcurrencyLinter:
             if (
                 isinstance(child, ast.Attribute)
                 and (_tokens(child.attr) & _PROTOCOL_TOKENS)
+                and _rooted_in_self(child)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _captures_lease_value(value: ast.expr) -> bool:
+        for child in walk_own(value):
+            if (
+                isinstance(child, ast.Attribute)
+                and (_tokens(child.attr) & _LEASE_TOKENS)
                 and _rooted_in_self(child)
             ):
                 return True
@@ -597,6 +643,9 @@ class ConcurrencyLinter:
                     state[key] = _STALE
         for name in facts.kills:
             state.pop(name, None)
+        # A re-bind to a lease-only value stops protocol tracking.
+        for name, _node in facts.lease_capture_assigns:
+            state.pop(name, None)
         for name, _node in facts.capture_assigns:
             state[name] = _FRESH
         return {k: v for k, v in state.items() if v != _ABSENT}
@@ -622,6 +671,51 @@ class ConcurrencyLinter:
                         "before a suspension point and is used here "
                         "after it — re-read or revalidate the "
                         "configuration after resuming",
+                        symbol,
+                    )
+                )
+
+    # -- QC004: captured lease value ------------------------------------------
+
+    @staticmethod
+    def _lease_transfer(
+        state: dict[str, int], facts: _NodeFacts
+    ) -> dict[str, int]:
+        if facts.suspends:
+            for key, value in list(state.items()):
+                if value == _FRESH:
+                    state[key] = _STALE
+        for name in facts.kills:
+            state.pop(name, None)
+        # A re-bind to a protocol-only value stops lease tracking.
+        for name, _node in facts.capture_assigns:
+            state.pop(name, None)
+        for name, _node in facts.lease_capture_assigns:
+            state[name] = _FRESH
+        return {k: v for k, v in state.items() if v != _ABSENT}
+
+    def _lease_emit(
+        self,
+        source: SourceFile,
+        symbol: str,
+        in_state: dict[str, int],
+        facts: _NodeFacts,
+        findings: list[Finding],
+        reported: set[str],
+    ) -> None:
+        for name, node in facts.uses:
+            if in_state.get(name) == _STALE and name not in reported:
+                reported.add(name)
+                findings.append(
+                    self._finding(
+                        source,
+                        node,
+                        "QC004",
+                        f"`{name}` captured lease/grant/expiry state "
+                        "before a suspension point and is used here "
+                        "after it — a write, epoch change, or expiry "
+                        "may have revoked the lease while suspended; "
+                        "re-read the lease table after resuming",
                         symbol,
                     )
                 )

@@ -83,6 +83,11 @@ WIRE_REGISTRY_GOLDEN: Tuple[str, ...] = (
     "AckRec",
     "SyncRequest",
     "SyncReply",
+    "LeaseRequest",
+    "LeaseGrant",
+    "LeaseRead",
+    "LeaseReadReply",
+    "LeaseNack",
 )
 
 #: Variable names (final dotted segment) accepted as the replication

@@ -80,6 +80,7 @@ RULE_SUMMARIES = {
     "QC001": "shared-state check-then-act across a suspension point",
     "QC002": "shared-container iteration with a suspension in the body",
     "QC003": "captured epoch/cfg/plan/ring value stale after suspension",
+    "QC004": "captured lease/grant/expiry value stale after suspension",
     "QP001": "wire-registry exhaustiveness / append-only order",
     "QP002": "provable R+W>N violation in quorum arithmetic",
 }

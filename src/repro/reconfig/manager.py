@@ -336,7 +336,17 @@ class ReconfigurationManager(Node):
         cfg_no: int,
         parent: Optional[Span] = None,
     ) -> Iterator[Future]:
-        """The epochChange procedure (Algorithm 2 lines 22-25)."""
+        """The epochChange procedure (Algorithm 2 lines 22-25).
+
+        The epoch fence also fences the lease fast path (invariant I7):
+        storage nodes clear their whole per-object grant table when they
+        adopt the NEWEP, and proxies drop all held leases on NEWQ /
+        CONFIRM / any epoch adoption — so no lease minted under the old
+        configuration can serve a single-replica read once quorums have
+        moved.  Nothing here needs to know about leases; the fencing
+        lives in ``StorageNode._on_new_epoch`` and the proxy's
+        ``_drop_all_leases`` call sites.
+        """
         self._epoch_no += 1
         self.epoch_changes += 1
         epoch_no = self._epoch_no

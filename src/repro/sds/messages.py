@@ -192,6 +192,92 @@ class SyncReply:
 
 
 # --------------------------------------------------------------------------
+# Proxy <-> primary replica: per-object read leases (invariant I7)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """[LEASEREQ, oid, epNo, dur]: ask the object's primary for a lease.
+
+    Sent fire-and-forget after a successful quorum read.  Only the
+    object's *primary* replica — the first entry of the placement ring's
+    replica walk, identical at every proxy — may grant; any other
+    replica answers with :class:`LeaseNack`.  ``duration`` is the
+    requested validity window; the primary clamps it to its own
+    ``max_lease_duration``.
+    """
+
+    object_id: ObjectId
+    epoch_no: int
+    duration: float
+    op_id: int
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """[LEASEGRANT, oid, expiry, epNo]: the primary granted a lease.
+
+    ``expiry`` is on the granting replica's clamped wall clock; the
+    proxy subtracts its configured clock-skew bound before trusting it.
+    A grant is only usable at the epoch it was minted under — both ends
+    drop all lease state on any epoch change (Section 5.3 fencing).
+    """
+
+    object_id: ObjectId
+    expiry: float
+    epoch_no: int
+    op_id: int
+    replica: NodeId
+
+
+@dataclass(frozen=True)
+class LeaseRead:
+    """[LEASEREAD, oid, epNo]: a single-replica read under a held lease.
+
+    The primary validates the caller's grant *authoritatively* against
+    its own table (epoch fence, expiry, not broken by a foreign write)
+    before serving — the proxy-side expiry check is only an advisory
+    optimization, so clock skew can cost a round trip but never serve a
+    stale value.
+    """
+
+    object_id: ObjectId
+    epoch_no: int
+    op_id: int
+
+
+@dataclass(frozen=True)
+class LeaseReadReply:
+    """[LEASEREADREPLY, oid, val, ts, expiry]: the primary's current
+    version, plus the slid (renewed) lease expiry."""
+
+    object_id: ObjectId
+    version: Version
+    expiry: float
+    op_id: int
+    replica: NodeId
+
+
+@dataclass(frozen=True)
+class LeaseNack:
+    """[LEASENACK, oid, epNo]: no valid lease — fall back to quorum.
+
+    Sent when the grant is absent, expired, broken by a write, when the
+    replica is not the object's primary, or while it is quarantined
+    (invariant I6).  Unlike :class:`EpochNack` it carries no quorum
+    plan: the proxy just drops its lease and re-executes on the quorum
+    path, so a quarantined primary cannot send it into a stale-epoch
+    adopt/retry spin.
+    """
+
+    object_id: ObjectId
+    op_id: int
+    epoch_no: int
+    replica: NodeId
+
+
+# --------------------------------------------------------------------------
 # Reconfiguration Manager <-> Proxy (Algorithms 2, 3)
 # --------------------------------------------------------------------------
 

@@ -50,6 +50,11 @@ from repro.sds.messages import (
     ClientWriteReply,
     Confirm,
     EpochNack,
+    LeaseGrant,
+    LeaseNack,
+    LeaseRead,
+    LeaseReadReply,
+    LeaseRequest,
     NewQuorum,
     NewRound,
     NewTopK,
@@ -80,12 +85,23 @@ _WRITE_STAMP_CACHE = 128
 
 
 class _Gather:
-    """In-flight quorum collection for one replica-level operation."""
+    """In-flight quorum collection for one replica-level operation.
 
-    __slots__ = ("needed", "replies", "future")
+    When ``required`` names a replica, the gather does not resolve until
+    that replica's reply is among the collected ones, even past
+    ``needed`` — the mandatory-primary write rule of invariant I7.
+    """
 
-    def __init__(self, needed: int, future: Future) -> None:
+    __slots__ = ("needed", "required", "replies", "future")
+
+    def __init__(
+        self,
+        needed: int,
+        future: Future,
+        required: Optional[NodeId] = None,
+    ) -> None:
         self.needed = needed
+        self.required = required
         self.replies: list = []
         self.future = future
 
@@ -93,13 +109,34 @@ class _Gather:
         if self.future.done:
             return
         self.replies.append(reply)
-        if len(self.replies) >= self.needed:
-            self.future.resolve(("ok", list(self.replies)))
+        if len(self.replies) < self.needed:
+            return
+        if self.required is not None and all(
+            reply.replica != self.required for reply in self.replies
+        ):
+            return
+        self.future.resolve(("ok", list(self.replies)))
 
     def add_nack(self, nack: EpochNack) -> None:
         if self.future.done:
             return
         self.future.resolve(("nack", nack))
+
+
+class _HeldLease:
+    """A proxy-side record of a lease granted by an object's primary.
+
+    ``expiry`` is advisory at the proxy (the primary re-validates every
+    lease read against its own clock); it only gates whether the fast
+    path is worth attempting.  Mutable: served lease reads slide it
+    forward without reallocating.
+    """
+
+    __slots__ = ("expiry", "epoch_no")
+
+    def __init__(self, expiry: float, epoch_no: int) -> None:
+        self.expiry = expiry
+        self.epoch_no = epoch_no
 
 
 class ProxyNode(Node):
@@ -177,6 +214,20 @@ class ProxyNode(Node):
         self.resubmitted_writes = 0
         self.gather_timeouts = 0
         self.operations_failed = 0
+
+        # Per-object read leases (invariant I7).  The write-side rule
+        # (primary ack mandatory) follows the *static* config flag so
+        # every proxy in the fleet applies it uniformly; the read-side
+        # fast path can additionally be toggled per proxy at runtime
+        # (set_lease_reads), which is safe — it only changes whether we
+        # *use* leases, never whether writes keep them sound.
+        self._leases: dict[ObjectId, _HeldLease] = {}
+        self._lease_pending: dict[ObjectId, float] = {}
+        self._lease_reads_enabled = True
+        self.lease_read_hits = 0
+        self.lease_read_misses = 0
+        self.leases_acquired = 0
+        self.lease_requests_sent = 0
         self._sync_optimized()
 
         self.register_handler(ClientRead, self._on_client_read)
@@ -184,6 +235,9 @@ class ProxyNode(Node):
         self.register_handler(ReplicaReadReply, self._on_replica_reply)
         self.register_handler(ReplicaWriteReply, self._on_replica_reply)
         self.register_handler(EpochNack, self._on_epoch_nack)
+        self.register_handler(LeaseReadReply, self._on_replica_reply)
+        self.register_handler(LeaseGrant, self._on_lease_grant)
+        self.register_handler(LeaseNack, self._on_lease_nack)
         self.register_handler(NewQuorum, self._on_new_quorum)
         self.register_handler(Confirm, self._on_confirm)
         self.register_handler(NewRound, self._on_new_round)
@@ -345,6 +399,24 @@ class ProxyNode(Node):
         preferred replica set — has exhausted its deadline.
         """
         started_at = self.sim.now
+        if self._lease_feature_on() and self._lease_reads_enabled:
+            reply = yield from self._lease_read(object_id, span=span)
+            if reply is not None:
+                version = reply.version
+                if version.value is not None:
+                    # A lease read returns the primary's *current*
+                    # version, which mandatory-primary writes keep at
+                    # least as fresh as any completed write — but it may
+                    # still be a partial (in-flight or abandoned) write,
+                    # so it goes through the same stability discipline
+                    # as a quorum read before reaching the client.  In
+                    # steady state the stamp is already memoised stable
+                    # and this costs nothing.
+                    yield from self._stabilise(
+                        object_id, version, [reply], parent=span
+                    )
+                self._versioning.observe(object_id, version.stamp)
+                return version
         timeouts = 0
         while True:
             read_quorum = self.active_plan().quorum_for(object_id).read
@@ -374,6 +446,7 @@ class ProxyNode(Node):
                     object_id, version, outcome[1], parent=span
                 )
                 self._versioning.observe(object_id, version.stamp)
+                self._maybe_request_lease(object_id)
                 return version
             self.read_repairs += 1
             outcome = yield from self._gather_reads(
@@ -396,6 +469,7 @@ class ProxyNode(Node):
                 object_id, version, outcome[1], parent=span
             )
             self._versioning.observe(object_id, version.stamp)
+            self._maybe_request_lease(object_id)
             return version
 
     def _write(
@@ -534,6 +608,157 @@ class ProxyNode(Node):
         if current is None or current < stamp:
             self._stable[object_id] = stamp
 
+    # -- per-object read leases (invariant I7) ---------------------------------
+
+    def _lease_feature_on(self) -> bool:
+        return self._config.lease_duration > 0
+
+    def set_lease_reads(self, enabled: bool) -> None:
+        """Runtime toggle for the read-side fast path (per proxy).
+
+        Disabling drops held leases so an A/B comparison on a live
+        cluster measures the pure quorum path, not residual lease hits.
+        """
+        self._lease_reads_enabled = bool(enabled)
+        if not enabled:
+            self._drop_all_leases()
+
+    def leases_held(self) -> int:
+        """Number of objects this proxy currently holds a lease on."""
+        return len(self._leases)
+
+    def _primary(self, object_id: ObjectId) -> NodeId:
+        return self._ring.replicas(object_id)[0]
+
+    def _lease_read(
+        self, object_id: ObjectId, span: Optional[Span] = None
+    ) -> Iterator:
+        """Attempt the one-replica fast path; ``None`` means fall back.
+
+        The proxy-side expiry check (minus ``lease_skew_bound``) is
+        purely advisory: the primary re-validates the grant against its
+        own clock, so clock skew can only cost a wasted round trip and a
+        fall-back to the quorum path, never a stale read.
+        """
+        held = self._leases.get(object_id)
+        if held is None or held.epoch_no != self._epoch_no:
+            return None
+        if self.sim.now >= held.expiry - self._config.lease_skew_bound:
+            del self._leases[object_id]
+            return None
+        op_id = next(self._op_seq)
+        gather = _Gather(
+            needed=1, future=self.sim.future(name=f"lease-read-{op_id}")
+        )
+        self._gathers[op_id] = gather
+        trace = span.context() if span is not None else None
+        try:
+            yield self._cpu.use(self._config.per_replica_cpu)
+            self.send(
+                self._primary(object_id),
+                LeaseRead(
+                    object_id=object_id,
+                    epoch_no=self._epoch_no,
+                    op_id=op_id,
+                ),
+                size=_HEADER_BYTES,
+                trace=trace,
+            )
+            yield any_of(
+                self.sim,
+                [gather.future, self.sim.sleep(self._config.fallback_timeout)],
+            )
+            if not gather.future.done:
+                self.lease_read_misses += 1
+                self._leases.pop(object_id, None)
+                return None
+            outcome = gather.future.value
+            if outcome[0] == "nack":
+                self.lease_read_misses += 1
+                self._leases.pop(object_id, None)
+                self._adopt_from_nack(outcome[1])
+                return None
+            if outcome[0] == "lease-nack":
+                self.lease_read_misses += 1
+                self._leases.pop(object_id, None)
+                return None
+            reply: LeaseReadReply = outcome[1][0]
+            self.lease_read_hits += 1
+            # Sliding renewal: the served read refreshed the grant.
+            held = self._leases.get(object_id)
+            if held is not None and reply.expiry > held.expiry:
+                held.expiry = reply.expiry
+            return reply
+        finally:
+            del self._gathers[op_id]
+
+    def _maybe_request_lease(self, object_id: ObjectId) -> None:
+        """Fire-and-forget lease acquisition after a quorum read.
+
+        Requesting *after* a successful quorum read (rather than on the
+        fast-path miss) keeps acquisition off the latency path and
+        naturally targets the read-heavy objects leases pay off for.
+        A per-object dedup window bounds request traffic while a grant
+        or nack is in flight.
+        """
+        if not (self._lease_feature_on() and self._lease_reads_enabled):
+            return
+        if object_id in self._leases:
+            return
+        now = self.sim.now
+        pending = self._lease_pending.get(object_id)
+        if pending is not None and now < pending:
+            return
+        self._lease_pending[object_id] = now + self._config.fallback_timeout
+        self.lease_requests_sent += 1
+        self.send(
+            self._primary(object_id),
+            LeaseRequest(
+                object_id=object_id,
+                epoch_no=self._epoch_no,
+                duration=self._config.lease_duration,
+                op_id=next(self._op_seq),
+            ),
+            size=_HEADER_BYTES,
+        )
+
+    def _on_lease_grant(self, envelope: Envelope) -> None:
+        grant: LeaseGrant = envelope.payload
+        self._lease_pending.pop(grant.object_id, None)
+        if grant.epoch_no != self._epoch_no:
+            # Granted under an epoch we have already left (or not yet
+            # reached): unusable either way — the primary will fence it.
+            return
+        held = self._leases.get(grant.object_id)
+        if held is None:
+            self._leases[grant.object_id] = _HeldLease(
+                grant.expiry, grant.epoch_no
+            )
+            self.leases_acquired += 1
+        elif grant.expiry > held.expiry:
+            held.expiry = grant.expiry
+            held.epoch_no = grant.epoch_no
+
+    def _on_lease_nack(self, envelope: Envelope) -> None:
+        nack: LeaseNack = envelope.payload
+        gather = self._gathers.get(nack.op_id)
+        if gather is not None:
+            # Rejected lease *read*: resolve the fast-path future with a
+            # distinct outcome — unlike an EpochNack this carries no
+            # plan, so a quarantined primary cannot drag us onto stale
+            # epoch state.
+            if not gather.future.done:
+                gather.future.resolve(("lease-nack", nack))
+            return
+        # Rejected lease *request* (fire-and-forget): clear the dedup
+        # window and any lease we optimistically still hold.
+        self._lease_pending.pop(nack.object_id, None)
+        self._leases.pop(nack.object_id, None)
+
+    def _drop_all_leases(self) -> None:
+        self._leases.clear()
+        self._lease_pending.clear()
+
     # -- quorum gathering --------------------------------------------------------
 
     def _gather_reads(
@@ -585,9 +810,17 @@ class ProxyNode(Node):
                 _HEADER_BYTES + size,
             )
 
+        # Invariant I7: with leases enabled the object's primary must
+        # ack every write, so its copy is always at least as fresh as
+        # any completed write and it can break foreign leases on every
+        # one.  The flag is static cluster config, never the runtime
+        # read toggle — a fleet with mixed write rules would be unsound.
+        required = (
+            self._primary(object_id) if self._lease_feature_on() else None
+        )
         outcome = yield from self._gather(
             object_id, quorum, make_request, rotation_offset,
-            parent=parent, phase=phase,
+            parent=parent, phase=phase, required=required,
         )
         return outcome
 
@@ -599,6 +832,7 @@ class ProxyNode(Node):
         rotation_offset: int = 0,
         parent: Optional[Span] = None,
         phase: Optional[str] = None,
+        required: Optional[NodeId] = None,
     ) -> Iterator:
         """Contact ``quorum`` replicas; fall back to the rest on timeout.
 
@@ -614,10 +848,16 @@ class ProxyNode(Node):
         order = self._ring.preferred_order(
             object_id, self._rotation + rotation_offset
         )
+        if required is not None and required in order:
+            # The mandatory replica is contacted first in every attempt
+            # so steady-state gathers never wait on the fallback round.
+            order = [required] + [r for r in order if r != required]
         quorum = min(quorum, len(order))
         op_id = next(self._op_seq)
         gather = _Gather(
-            needed=quorum, future=self.sim.future(name=f"gather-{op_id}")
+            needed=quorum,
+            future=self.sim.future(name=f"gather-{op_id}"),
+            required=required,
         )
         self._gathers[op_id] = gather
         obs = self._obs
@@ -693,6 +933,9 @@ class ProxyNode(Node):
             self._current_plan = nack.plan
             self._transition_plan = None
             self._history.record(nack.cfg_no, nack.plan)
+            # Invariant I7: epoch change fences every lease — storage
+            # nodes cleared their grant tables on NEWEP adoption.
+            self._drop_all_leases()
             self._sync_optimized()
 
     @staticmethod
@@ -719,6 +962,8 @@ class ProxyNode(Node):
         self._epoch_no = message.epoch_no
         self._cfg_no = message.cfg_no
         self._history.record(message.cfg_no, message.plan)
+        # Invariant I7: entering the new epoch fences held leases.
+        self._drop_all_leases()
         # New reads/writes are processed using the transition quorum.
         self._transition_plan = self._current_plan.transition_with(
             message.plan
@@ -757,6 +1002,7 @@ class ProxyNode(Node):
         self._confirmed_cfg_no = message.cfg_no
         self._current_plan = message.plan
         self._transition_plan = None
+        self._drop_all_leases()
         self._sync_optimized()
         self.send(
             envelope.sender,

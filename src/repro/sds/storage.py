@@ -25,6 +25,11 @@ from repro.obs.trace import Span
 from repro.sds.messages import (
     AckNewEpoch,
     EpochNack,
+    LeaseGrant,
+    LeaseNack,
+    LeaseRead,
+    LeaseReadReply,
+    LeaseRequest,
     NewEpoch,
     ReplicaRead,
     ReplicaReadReply,
@@ -103,6 +108,13 @@ class StorageNode(Node):
         self._recovering = False
         #: peer -> epoch it answered our SYNCREQ with.
         self._sync_replies: dict[NodeId, int] = {}
+        # Per-object read-lease grants (invariant I7), held only while
+        # this node is the object's primary: object -> holder proxy ->
+        # (expiry, granted duration).  Deliberately in-memory: a crashed
+        # primary forgets its grants and LeaseNacks every lease read
+        # after restart, which is safe because grant validation is
+        # primary-side.  All grants die on any epoch adoption.
+        self._leases: dict[ObjectId, dict[NodeId, Tuple[float, float]]] = {}
         if self._backend.recovered and self._ring is not None:
             epoch_no, cfg_no, plan = self._backend.recovered_state()
             self._epoch_no = epoch_no
@@ -122,6 +134,10 @@ class StorageNode(Node):
         self.sync_requests_served = 0
         self.sync_versions_applied = 0
         self.recoveries_completed = 0
+        self.leases_granted = 0
+        self.leases_broken = 0
+        self.lease_reads_served = 0
+        self.lease_nacks_sent = 0
 
         self.register_handler(ReplicaRead, self._on_read)
         self.register_handler(ReplicaWrite, self._on_write)
@@ -129,6 +145,8 @@ class StorageNode(Node):
         self.register_handler(NewEpoch, self._on_new_epoch)
         self.register_handler(SyncRequest, self._on_sync_request)
         self.register_handler(SyncReply, self._on_sync_reply)
+        self.register_handler(LeaseRequest, self._on_lease_request)
+        self.register_handler(LeaseRead, self._on_lease_read)
 
     def start(self) -> None:
         super().start()
@@ -193,6 +211,16 @@ class StorageNode(Node):
             self._epoch_no = message.epoch_no
             self._cfg_no = message.cfg_no
             self._plan = message.plan
+            # Epoch fence for leases (invariant I7): every outstanding
+            # grant was minted under a superseded configuration, so a
+            # lease read against it could count toward quorums that no
+            # longer intersect.  Drop them all; holders fall back to the
+            # quorum path on the next LeaseNack.
+            if self._leases:
+                self.leases_broken += sum(
+                    len(grants) for grants in self._leases.values()
+                )
+                self._leases.clear()
             self._backend.set_epoch(
                 message.epoch_no, message.cfg_no, message.plan
             )
@@ -303,6 +331,11 @@ class StorageNode(Node):
             )
             self._dirty.add(message.object_id)
             self.writes_served += 1
+            # Invalidate leases on write (invariant I7).  Equal stamps
+            # are re-applies of an already-leased value (stabilise
+            # write-backs, duplicate quorum legs) and break nothing.
+            if current is None or message.stamp > current.stamp:
+                self._break_leases(message.object_id, message.stamp)
         else:
             self.writes_discarded += 1
         self.send(
@@ -371,6 +404,165 @@ class StorageNode(Node):
         if current is None or message.version.stamp > current.stamp:
             self._backend.put(message.object_id, message.version)
             self.syncs_applied += 1
+            self._break_leases(message.object_id, message.version.stamp)
+
+    # -- per-object read leases (invariant I7) ---------------------------------
+
+    def lease_holders(self, object_id: ObjectId) -> list[NodeId]:
+        """Proxies currently holding an unexpired grant (test view)."""
+        grants = self._leases.get(object_id, {})
+        return sorted(
+            holder
+            for holder, (expiry, _duration) in grants.items()
+            if self.sim.now < expiry
+        )
+
+    def _is_primary(self, object_id: ObjectId) -> bool:
+        """Is this node the object's primary (first ring replica)?
+
+        The primary is deterministic and identical at every node, which
+        is what lets the write path require its ack without any extra
+        coordination (see ``ProxyConfig.lease_duration``).
+        """
+        if self._ring is None:
+            return False
+        return self._ring.replicas(object_id)[0] == self.node_id
+
+    def _on_lease_request(self, envelope: Envelope) -> None:
+        message: LeaseRequest = envelope.payload
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id, envelope.trace)
+            return
+        if (
+            self._recovering
+            or message.epoch_no > self._epoch_no
+            or not self._is_primary(message.object_id)
+            or self._config.max_lease_duration <= 0
+        ):
+            # Quarantined (I6), ahead-of-us epoch, not the primary, or
+            # leases disabled server-side: refuse without epoch state —
+            # the proxy simply stays on the quorum path.
+            self._lease_nack(envelope.sender, message)
+            return
+        duration = min(message.duration, self._config.max_lease_duration)
+        expiry = self.sim.now + duration
+        grants = self._leases.setdefault(message.object_id, {})
+        grants[envelope.sender] = (expiry, duration)
+        self.leases_granted += 1
+        self.send(
+            envelope.sender,
+            LeaseGrant(
+                object_id=message.object_id,
+                expiry=expiry,
+                epoch_no=self._epoch_no,
+                op_id=message.op_id,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES,
+        )
+
+    def _on_lease_read(self, envelope: Envelope) -> Iterator:
+        message: LeaseRead = envelope.payload
+        if self._recovering:
+            # Invariant I6: a quarantined primary's state may miss
+            # acked writes, and its grant table died with the crash.
+            # A LeaseNack (not silence, unlike _on_read) is safe here
+            # because it carries no epoch state — the proxy drops its
+            # lease and regathers from live peers.
+            self.reads_declined += 1
+            self._lease_nack(envelope.sender, message)
+            return
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id, envelope.trace)
+            return
+        if not self._grant_valid(message.object_id, envelope.sender):
+            self._lease_nack(envelope.sender, message)
+            return
+        hinted = self._versions.get(message.object_id)
+        size_hint = hinted.size if hinted is not None else 0
+        yield self._disk.use(self._read_service_time(size_hint))
+        # Re-validate after the disk wait: both the epoch fence (see
+        # _on_read) and the grant itself — a NEWEP adoption or a
+        # foreign write may have invalidated the lease while this
+        # request sat in the disk queue.
+        if message.epoch_no < self._epoch_no:
+            self._nack(envelope.sender, message.op_id, envelope.trace)
+            return
+        if self._recovering or not self._grant_valid(
+            message.object_id, envelope.sender
+        ):
+            self._lease_nack(envelope.sender, message)
+            return
+        # Sliding renewal: a served lease read refreshes the grant for
+        # its original duration, so a hot read-mostly object keeps its
+        # lease alive without LeaseRequest traffic.
+        grants = self._leases[message.object_id]
+        _old_expiry, duration = grants[envelope.sender]
+        expiry = self.sim.now + duration
+        grants[envelope.sender] = (expiry, duration)
+        version = self._versions.get(message.object_id, missing_version())
+        self.lease_reads_served += 1
+        self.send(
+            envelope.sender,
+            LeaseReadReply(
+                object_id=message.object_id,
+                version=version,
+                expiry=expiry,
+                op_id=message.op_id,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES + version.size,
+        )
+
+    def _grant_valid(self, object_id: ObjectId, holder: NodeId) -> bool:
+        grants = self._leases.get(object_id)
+        if not grants:
+            return False
+        record = grants.get(holder)
+        if record is None:
+            return False
+        expiry, _duration = record
+        if self.sim.now >= expiry:
+            del grants[holder]
+            if not grants:
+                del self._leases[object_id]
+            return False
+        return True
+
+    def _break_leases(self, object_id: ObjectId, stamp: object) -> None:
+        """Invalidate grants on a write — except the writer's own.
+
+        The writer's proxy already observed its own stamp (its stability
+        watermark covers it), so its lease stays valid; every other
+        holder must fall back to a quorum read once and re-acquire.
+        ``getattr`` keeps the vector-clock versioning scheme working:
+        a stamp without a ``proxy`` field breaks every grant.
+        """
+        grants = self._leases.get(object_id)
+        if not grants:
+            return
+        writer = getattr(stamp, "proxy", None)
+        broken = [
+            holder for holder in sorted(grants) if str(holder) != writer
+        ]
+        for holder in broken:
+            del grants[holder]
+        self.leases_broken += len(broken)
+        if not grants:
+            del self._leases[object_id]
+
+    def _lease_nack(self, recipient: NodeId, message: object) -> None:
+        self.lease_nacks_sent += 1
+        self.send(
+            recipient,
+            LeaseNack(
+                object_id=message.object_id,  # type: ignore[attr-defined]
+                op_id=message.op_id,  # type: ignore[attr-defined]
+                epoch_no=self._epoch_no,
+                replica=self.node_id,
+            ),
+            size=_HEADER_BYTES,
+        )
 
     # -- crash recovery: quarantined rejoin (invariant I6) ---------------------
 

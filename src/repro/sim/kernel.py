@@ -219,6 +219,11 @@ class Simulator:
     """The event loop: a priority queue of timestamped callbacks."""
 
     def __init__(self) -> None:
+        #: Simulated time, strictly non-decreasing.  Protocol code that
+        #: compares stored deadlines against ``now`` (e.g. the lease
+        #: grant table, invariant I7) relies on exactly this property
+        #: and nothing else, which is why the same code runs unchanged
+        #: under the clamped wall clock of ``net.kernel.RealtimeKernel``.
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._sequence = itertools.count()

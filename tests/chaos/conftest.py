@@ -17,6 +17,7 @@ environment variable (each test derives its own substream from it).
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 
 import pytest
 
@@ -60,7 +61,12 @@ CHAOS_CLIENT = ClientConfig(
 )
 
 
-def chaos_cluster_config(write: int = 3) -> ClusterConfig:
+def chaos_cluster_config(
+    write: int = 3, lease_duration: float = 0.0
+) -> ClusterConfig:
+    proxy = CHAOS_PROXY
+    if lease_duration > 0:
+        proxy = replace(proxy, lease_duration=lease_duration)
     return ClusterConfig(
         num_storage_nodes=8,
         num_proxies=2,
@@ -68,7 +74,7 @@ def chaos_cluster_config(write: int = 3) -> ClusterConfig:
         replication_degree=5,
         initial_quorum=QuorumConfig.from_write(write, 5),
         storage=StorageConfig(replication_interval=0.5),
-        proxy=CHAOS_PROXY,
+        proxy=proxy,
         client=CHAOS_CLIENT,
     )
 
@@ -78,13 +84,17 @@ def build_chaos_stack(
     write: int = 3,
     with_qopt: bool = True,
     write_ratio: float = 0.5,
+    lease_duration: float = 0.0,
 ):
     """A wired cluster + checker + nemesis, ready for a schedule.
 
     Returns ``(cluster, system, checker, nemesis)``; ``system`` is None
     when ``with_qopt`` is False.
     """
-    cluster = SwiftCluster(chaos_cluster_config(write), seed=seed)
+    cluster = SwiftCluster(
+        chaos_cluster_config(write, lease_duration=lease_duration),
+        seed=seed,
+    )
     system = (
         attach_qopt(cluster, autonomic_config=CHAOS_AM) if with_qopt else None
     )

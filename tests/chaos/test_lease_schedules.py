@@ -1,0 +1,137 @@
+"""Seeded nemesis schedules with per-object read leases enabled.
+
+The lease fast path (invariant I7) serves reads from a single replica,
+so it is exactly the feature a fault schedule should try to break: a
+partitioned or crashed primary, an expiring grant, or an epoch change
+mid-lease must all push proxies back onto the quorum path without ever
+surfacing a stale value or losing an acked write.  Every test asserts
+the full chaos contract — a linearizable client history (Wing & Gong
+checked), no hung operations, forward progress — plus lease-specific
+claims about which path actually ran.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import NodeId
+from repro.sim.nemesis import links_between
+
+from .conftest import assert_chaos_invariants, build_chaos_stack
+
+RUN_SECONDS = 15.0
+
+
+def storage_ids(cluster) -> list[NodeId]:
+    return [node.node_id for node in cluster.storage_nodes]
+
+
+def proxy_ids(cluster) -> list[NodeId]:
+    return [proxy.node_id for proxy in cluster.proxies]
+
+
+def lease_hits(cluster) -> int:
+    return sum(p.lease_read_hits for p in cluster.proxies)
+
+
+def lease_misses(cluster) -> int:
+    return sum(p.lease_read_misses for p in cluster.proxies)
+
+
+class TestLeaseExpirySchedules:
+    def test_short_leases_churn_without_violations(self, base_seed):
+        """Sub-second leases on a skewed read-mostly workload: hot
+        objects keep renewing, cold grants expire constantly, and every
+        expiry is just a quorum fallback — never a stale read."""
+        cluster, _system, checker, _nemesis = build_chaos_stack(
+            base_seed * 100 + 40,
+            write_ratio=0.1,
+            lease_duration=0.6,
+        )
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        assert lease_hits(cluster) > 0
+        # Foreign writes on contended objects exercised the break path.
+        assert sum(s.leases_broken for s in cluster.storage_nodes) > 0
+
+    def test_leases_with_autonomic_reconfigurations(self, base_seed):
+        """The autonomic loop reconfigures quorums mid-run while leases
+        are live: every NEWQ/CONFIRM drops proxy leases, every epoch
+        fence clears grant tables, and the history stays linearizable."""
+        cluster, system, checker, _nemesis = build_chaos_stack(
+            base_seed * 100 + 41,
+            write_ratio=0.3,
+            lease_duration=1.0,
+        )
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        rm = system.reconfiguration_manager
+        assert rm.reconfigurations_completed >= 1
+        assert lease_hits(cluster) > 0
+
+
+class TestLeasePartitionSchedules:
+    def test_partitioned_primaries_force_quorum_fallback(self, base_seed):
+        """Two replicas (primaries for ~a quarter of the keyspace) cut
+        off for 2s: lease reads against them time out, the quorum path
+        routes around the island, and the heal restores the fast path."""
+        cluster, _system, checker, nemesis = build_chaos_stack(
+            base_seed * 100 + 42,
+            write_ratio=0.1,
+            lease_duration=1.5,
+        )
+        nemesis.schedule_isolation(2.0, 2.0, storage_ids(cluster)[:2])
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        assert any(f.kind == "partition" for f in nemesis.faults)
+        assert any(f.kind == "heal" for f in nemesis.faults)
+        assert not cluster.network.partitioned
+        assert lease_hits(cluster) > 0
+
+    def test_flaky_proxy_storage_links_under_leases(self, base_seed):
+        """30% loss between one proxy and three replicas: lost lease
+        reads and lost grants only cost fallbacks and re-acquisition."""
+        cluster, _system, checker, nemesis = build_chaos_stack(
+            base_seed * 100 + 43,
+            write_ratio=0.2,
+            lease_duration=1.0,
+        )
+        links = links_between(
+            [proxy_ids(cluster)[0]], storage_ids(cluster)[:3]
+        )
+        nemesis.schedule_omission(2.0, 4.0, links, probability=0.3)
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        assert cluster.network.messages_omitted > 0
+        assert lease_hits(cluster) > 0
+
+
+class TestLeaseCrashSchedules:
+    def test_storage_crash_while_leases_held(self, base_seed):
+        """A replica (primary for part of the keyspace) dies at 2s with
+        grants outstanding.  Reads on its objects fall back to quorum;
+        no acked write is lost and nothing hangs."""
+        cluster, _system, checker, nemesis = build_chaos_stack(
+            base_seed * 100 + 44,
+            write_ratio=0.1,
+            lease_duration=1.5,
+        )
+        nemesis.schedule_crash(2.0, storage_ids(cluster)[0])
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        assert any(f.kind == "crash" for f in nemesis.faults)
+        assert lease_hits(cluster) > 0
+
+    def test_leaseholder_proxy_crash(self, base_seed):
+        """The proxy holding most leases dies: its grants simply expire
+        at the primaries, the surviving proxy keeps serving, and the
+        dead proxy's clients fail typed rather than hang."""
+        cluster, _system, checker, nemesis = build_chaos_stack(
+            base_seed * 100 + 45,
+            write_ratio=0.2,
+            lease_duration=1.0,
+        )
+        nemesis.schedule_crash(3.0, proxy_ids(cluster)[1])
+        cluster.run(RUN_SECONDS)
+        assert_chaos_invariants(cluster, checker)
+        assert any(f.kind == "crash" for f in nemesis.faults)
+        survivor = cluster.proxies[0]
+        assert survivor.lease_read_hits > 0

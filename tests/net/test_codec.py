@@ -38,7 +38,7 @@ from repro.net.codec import (
     encode_value,
 )
 from repro.sds import messages
-from repro.sds.messages import ClientRead
+from repro.sds.messages import ClientRead, LeaseGrant
 from repro.sds.quorum import QuorumPlan
 from repro.sim.network import Envelope
 
@@ -48,6 +48,16 @@ from repro.sim.network import Envelope
 GOLDEN_FRAME_HEX = (
     "0000003607060a000506636c69656e74030e0a00050570726f7879030003d804"
     "0440290000000000000702030203040a0605056f626a2d310354"
+)
+
+#: Same contract for the lease subprotocol (appended in the lease PR):
+#: a ``LeaseGrant`` frame's exact bytes, pinned at its WIRE_TYPES
+#: position.  Reordering the registry or reshaping the dataclass breaks
+#: mixed-version clusters mid-rollout, so it must fail this test first.
+LEASE_GOLDEN_FRAME_HEX = (
+    "0000005007060a00050773746f7261676503040a00050570726f787903020380"
+    "040440110000000000000702031203020a2905056f626a2d3904402180000000"
+    "00000306039a010a00050773746f726167650304"
 )
 
 
@@ -160,6 +170,36 @@ def test_golden_frame_decodes() -> None:
     assert envelope.size == 300
     assert envelope.sent_at == 12.5
     assert envelope.trace == (1, 2)
+
+
+def _lease_golden_envelope() -> Envelope:
+    return Envelope(
+        sender=NodeId.storage(2),
+        recipient=NodeId.proxy(1),
+        payload=LeaseGrant(
+            object_id="obj-9",
+            expiry=8.75,
+            epoch_no=3,
+            op_id=77,
+            replica=NodeId.storage(2),
+        ),
+        size=256,
+        sent_at=4.25,
+        trace=(9, 1),
+    )
+
+
+def test_lease_golden_frame_bytes() -> None:
+    assert (
+        encode_frame(_lease_golden_envelope()).hex()
+        == LEASE_GOLDEN_FRAME_HEX
+    )
+
+
+def test_lease_golden_frame_decodes() -> None:
+    raw = bytes.fromhex(LEASE_GOLDEN_FRAME_HEX)
+    envelope = decode_frame_body(raw[4:])
+    assert envelope == _lease_golden_envelope()
 
 
 @pytest.mark.parametrize(

@@ -234,3 +234,104 @@ class TestStaleFence:
             """
         )
         assert findings == []
+
+
+class TestStaleLeaseCapture:
+    """QC004 — a captured lease/grant/expiry local goes stale across a
+    suspension point (invariant I7: grants are revoked between steps)."""
+
+    def test_captured_grant_used_after_await_flagged(self, lint):
+        findings = lint(
+            """
+            class Replica:
+                async def on_lease_read(self, message):
+                    grants = self._leases.get(message.object_id)
+                    await self._disk.use(message.size)
+                    if grants is None:
+                        return
+                    self.reply(message.sender, grants)
+            """
+        )
+        assert rules_of(findings) == ["QC004"]
+
+    def test_captured_expiry_used_after_yield_flagged(self, lint):
+        findings = lint(
+            """
+            class Replica:
+                def on_lease_read(self, message):
+                    deadline = self._lease_expiry
+                    yield self._disk.use(message.size)
+                    if self.sim.now < deadline:
+                        self.reply(message.sender, self._value)
+            """
+        )
+        assert rules_of(findings) == ["QC004"]
+
+    def test_recapture_after_await_is_clean(self, lint):
+        findings = lint(
+            """
+            class Replica:
+                async def on_lease_read(self, message):
+                    grants = self._leases.get(message.object_id)
+                    if grants is None:
+                        return
+                    await self._disk.use(message.size)
+                    grants = self._leases.get(message.object_id)
+                    if grants is None:
+                        return
+                    self.reply(message.sender, grants)
+            """
+        )
+        assert findings == []
+
+    def test_non_lease_capture_not_tracked(self, lint):
+        findings = lint(
+            """
+            class Replica:
+                async def on_read(self, message):
+                    version = self._versions.get(message.object_id)
+                    await self._disk.use(message.size)
+                    self.reply(message.sender, version)
+            """
+        )
+        assert findings == []
+
+    def test_protocol_capture_stays_qc003(self, lint):
+        # epoch state is QC003's domain; QC004 must not double-report it.
+        findings = lint(
+            """
+            class Replica:
+                async def on_read(self, message):
+                    epoch = self._epoch_no
+                    await self._disk.use(message.size)
+                    self.reply(message.sender, epoch)
+            """
+        )
+        assert rules_of(findings) == ["QC003"]
+
+    def test_epoch_stamped_grant_reports_both(self, lint):
+        # A value derived from both lease and protocol state is stale in
+        # both senses; each pass reports under its own rule.
+        findings = lint(
+            """
+            class Replica:
+                async def on_lease_read(self, message):
+                    stamped = (self._epoch_no, self._lease_expiry)
+                    await self._disk.use(message.size)
+                    self.reply(message.sender, stamped)
+            """
+        )
+        assert sorted(rules_of(findings)) == ["QC003", "QC004"]
+
+    def test_rebind_to_plain_value_stops_tracking(self, lint):
+        findings = lint(
+            """
+            class Replica:
+                async def on_lease_read(self, message):
+                    holder = self._grants.get(message.sender)
+                    await self._disk.use(message.size)
+                    holder = message.sender
+                    self.reply(message.sender, holder)
+            """
+        )
+        assert findings == []
